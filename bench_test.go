@@ -1,0 +1,300 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// at reduced scale: one testing.B benchmark per experiment. Each iteration
+// runs the experiment end-to-end on the simulated machine and reports the
+// figure's headline quantity as custom metrics (speedups, MTEPS, GB/s),
+// so `go test -bench=. -benchmem` reproduces the paper's comparisons.
+//
+// cmd/charm-bench prints the full row/series tables (use -full for
+// paper-sized inputs); internal/harness holds the experiment code.
+package charm_test
+
+import (
+	"strconv"
+	"testing"
+
+	"charm/internal/harness"
+)
+
+// benchOptions shrinks experiments to benchmark-friendly sizes.
+func benchOptions() harness.Options {
+	o := harness.Defaults()
+	o.GraphScale = 11
+	return o
+}
+
+// cell parses a table cell as float.
+func cell(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// report re-exposes a named column of selected rows as benchmark metrics.
+func report(b *testing.B, t *harness.Table, col string, unit string, match func(row []string) (string, bool)) {
+	ci := t.Col(col)
+	if ci < 0 {
+		b.Fatalf("no column %q in %s", col, t.ID)
+	}
+	for _, r := range t.Rows {
+		if name, ok := match(r); ok {
+			b.ReportMetric(cell(b, r[ci]), name+"_"+unit)
+		}
+	}
+}
+
+func BenchmarkFig1Summary(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Fig1()
+		report(b, t, "speedup", "x", func(r []string) (string, bool) { return r[0], true })
+	}
+}
+
+func BenchmarkFig3LatencyCDF(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Fig3()
+		report(b, t, "p50 ns", "ns", func(r []string) (string, bool) { return r[0] + "_p50", true })
+	}
+}
+
+func BenchmarkFig4CoresVsChannels(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Fig4()
+		last := t.Rows[len(t.Rows)-1]
+		b.ReportMetric(cell(b, last[4]), "cores_per_channel")
+	}
+}
+
+func BenchmarkFig5LocalVsDistributed(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Fig5()
+		ci := t.Col("dist speedup")
+		min, max := 1e18, 0.0
+		for _, r := range t.Rows {
+			v := cell(b, r[ci])
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		b.ReportMetric(min, "dist_speedup_min_x")
+		b.ReportMetric(max, "dist_speedup_max_x")
+	}
+}
+
+// graphScalabilityMetric reports CHARM's 64-core advantage over the best
+// baseline for one benchmark of a Fig. 7/8-style table.
+func graphScalabilityMetric(b *testing.B, t *harness.Table, bench string) {
+	ci := t.Col("64c")
+	var charmV, best float64
+	for _, r := range t.Rows {
+		if r[0] != bench {
+			continue
+		}
+		v := cell(b, r[ci])
+		if r[1] == "charm" {
+			charmV = v
+		} else if v > best {
+			best = v
+		}
+	}
+	if best > 0 {
+		b.ReportMetric(charmV/best, bench+"_charm_vs_best_x")
+	}
+	b.ReportMetric(charmV, bench+"_charm_mteps")
+}
+
+func BenchmarkFig7GraphScalabilityAMD(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Fig7()
+		for _, bench := range harness.GraphBenchmarks {
+			graphScalabilityMetric(b, t, bench)
+		}
+	}
+}
+
+func BenchmarkFig8GraphScalabilityIntel(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Fig8()
+		ci := t.Col("48c")
+		var charmV, best float64
+		for _, r := range t.Rows {
+			if r[0] != "bfs" {
+				continue
+			}
+			v := cell(b, r[ci])
+			if r[1] == "charm" {
+				charmV = v
+			} else if v > best {
+				best = v
+			}
+		}
+		b.ReportMetric(charmV/best, "bfs_charm_vs_best_x")
+	}
+}
+
+func BenchmarkTab1ChipletAccesses(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Tab1()
+		r := t.Find("bfs")
+		b.ReportMetric(cell(b, r[1]), "bfs_remote_charm_k")
+		b.ReportMetric(cell(b, r[2]), "bfs_remote_ring_k")
+	}
+}
+
+func BenchmarkFig9Streamcluster(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Fig9()
+		var peakCharm, peakShoal float64
+		for _, r := range t.Rows {
+			if v := cell(b, r[1]); v > peakCharm {
+				peakCharm = v
+			}
+			if v := cell(b, r[2]); v > peakShoal {
+				peakShoal = v
+			}
+		}
+		b.ReportMetric(peakCharm, "charm_peak_x")
+		b.ReportMetric(peakShoal, "shoal_peak_x")
+	}
+}
+
+func BenchmarkTab2MemoryAccesses(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Tab2()
+		r := t.Find("8")
+		b.ReportMetric(cell(b, r[5]), "mainmem_charm_8c_k")
+		b.ReportMetric(cell(b, r[6]), "mainmem_shoal_8c_k")
+	}
+}
+
+func BenchmarkFig10GraphSizes(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Fig10()
+		ci := t.Col("64c")
+		var sum float64
+		n := 0
+		for _, r := range t.Rows {
+			if r[ci] != "n/a" {
+				sum += cell(b, r[ci])
+				n++
+			}
+		}
+		b.ReportMetric(sum/float64(n), "mean_speedup_over_ring_x")
+	}
+}
+
+func BenchmarkFig11SGD(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Fig11()
+		best := map[string]float64{}
+		ci := t.Col("grad GB/s")
+		for _, r := range t.Rows {
+			if v := cell(b, r[ci]); v > best[r[0]] {
+				best[r[0]] = v
+			}
+		}
+		b.ReportMetric(best["DW+CHARM"], "charm_grad_gbps")
+		b.ReportMetric(best["DW-NUMA-node"], "dw_numa_grad_gbps")
+		b.ReportMetric(best["DW+CHARM+async"], "async_grad_gbps")
+	}
+}
+
+func BenchmarkFig12Concurrency(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Fig12()
+		ci := t.Col("mean live")
+		for _, r := range t.Rows {
+			b.ReportMetric(cell(b, r[ci]), r[0]+"_mean_live")
+		}
+	}
+}
+
+func BenchmarkFig13TPCH(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Fig13()
+		ci := t.Col("speedup")
+		var sum float64
+		for _, r := range t.Rows {
+			sum += cell(b, r[ci])
+		}
+		b.ReportMetric(sum/float64(len(t.Rows)), "mean_query_speedup_x")
+	}
+}
+
+func BenchmarkFig14OLTP(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Fig14()
+		ci := t.Col("ratio")
+		min, max := 1e18, 0.0
+		for _, r := range t.Rows {
+			v := cell(b, r[ci])
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		b.ReportMetric(min, "placement_ratio_min")
+		b.ReportMetric(max, "placement_ratio_max")
+	}
+}
+
+func BenchmarkThresholdSensitivity(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Sensitivity()
+		for _, r := range t.Rows {
+			b.ReportMetric(cell(b, r[1]), "thr"+r[0]+"_mteps")
+		}
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Ablation()
+		for _, r := range t.Rows {
+			b.ReportMetric(cell(b, r[1]), r[0]+"_bfs_mteps")
+		}
+	}
+}
+
+func BenchmarkGranularity(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := o.Granularity()
+		// Report the best and worst Q3 times across the sweep.
+		best, worst := 1e18, 0.0
+		for _, r := range t.Rows {
+			v := cell(b, r[1])
+			if v < best {
+				best = v
+			}
+			if v > worst {
+				worst = v
+			}
+		}
+		b.ReportMetric(best, "q3_best_ms")
+		b.ReportMetric(worst, "q3_worst_ms")
+	}
+}

@@ -1,0 +1,302 @@
+// Package charm is a Go reproduction of CHARM — the Chiplet
+// Heterogeneity-Aware Runtime Mapping system (Fogli et al., EuroSys 2026).
+//
+// CHARM schedules fine-grained tasks on chiplet-based CPUs: it places
+// worker threads with awareness of the partitioned L3 cache, adapts each
+// worker's chiplet footprint (spread rate) to the observed remote-access
+// rate, and runs tasks as lightweight coroutines that can suspend, migrate
+// across chiplets, and resume.
+//
+// Because Go cannot pin threads to cores or read hardware PMUs portably,
+// this implementation runs against a simulated chiplet machine
+// (topology, partitioned caches, interconnect, NUMA memory, PMU counters)
+// in virtual time; see DESIGN.md for the substitution argument. The
+// runtime algorithms — the chiplet scheduling policy (Alg. 1), the
+// collision-free location update (Alg. 2), chiplet-first work stealing,
+// and the coroutine concurrency model — are implemented in full.
+//
+// Basic usage mirrors the paper's API:
+//
+//	rt, err := charm.Init(charm.Config{Workers: 8})
+//	if err != nil { ... }
+//	defer rt.Finalize()
+//	data := rt.Alloc(1 << 20)
+//	rt.AllDo(func(ctx *charm.Ctx) {
+//	    ctx.Read(data, 1<<20)
+//	    ctx.Yield() // cooperative scheduling + profiling point
+//	})
+package charm
+
+import (
+	"fmt"
+
+	"charm/internal/baselines"
+	"charm/internal/core"
+	"charm/internal/mem"
+	"charm/internal/pmu"
+	"charm/internal/sim"
+	"charm/internal/topology"
+)
+
+// Re-exported types. The simulation substrate lives in internal packages;
+// these aliases form the public surface.
+type (
+	// Ctx is the execution context of a task: memory access, compute
+	// charging, spawn, yield, call, and barrier primitives.
+	Ctx = core.Ctx
+	// Addr is a simulated memory address.
+	Addr = mem.Addr
+	// Stats summarizes one submission (makespan, tasks, steals, ...).
+	Stats = core.Stats
+	// Topology describes a machine layout.
+	Topology = topology.Topology
+	// CoreID, ChipletID and NodeID identify simulated hardware units.
+	CoreID = topology.CoreID
+	// ChipletID identifies a chiplet (CCD).
+	ChipletID = topology.ChipletID
+	// NodeID identifies a NUMA node.
+	NodeID = topology.NodeID
+	// Barrier synchronizes task groups (the barrier() primitive).
+	Barrier = core.RtBarrier
+	// Event identifies a simulated PMU counter.
+	Event = pmu.Event
+	// System names a runtime system (CHARM or a baseline).
+	System = baselines.System
+	// MemPolicy selects a NUMA allocation policy.
+	MemPolicy = mem.Policy
+)
+
+// Systems available for Config.System.
+const (
+	SystemCHARM     = baselines.CHARM
+	SystemRING      = baselines.RING
+	SystemSHOAL     = baselines.SHOAL
+	SystemAsymSched = baselines.AsymSched
+	SystemSAM       = baselines.SAM
+	SystemOSAsync   = baselines.OSAsync
+)
+
+// Memory policies for AllocPolicy.
+const (
+	Bind       = mem.Bind
+	Interleave = mem.Interleave
+	FirstTouch = mem.FirstTouch
+)
+
+// Topology presets.
+var (
+	// AMDMilan returns the paper's primary testbed topology.
+	AMDMilan = topology.AMDMilan7713x2
+	// IntelSPR returns the paper's secondary testbed topology.
+	IntelSPR = topology.IntelSPR8488Cx2
+	// SmallTopology returns a small single-socket machine for
+	// experimentation and tests.
+	SmallTopology = func() *Topology { return topology.Synthetic(4, 4) }
+)
+
+// Config parameterizes Init.
+type Config struct {
+	// Topology selects the simulated machine; nil uses the AMD EPYC
+	// Milan preset.
+	Topology *Topology
+	// CacheScale divides all cache capacities by this factor so scaled
+	// workloads preserve working-set-to-cache ratios (0 or 1 = full size).
+	CacheScale int64
+	// Workers is the number of worker threads (required).
+	Workers int
+	// System selects the runtime system; empty selects CHARM.
+	System System
+	// SampleShift simulates 1/2^SampleShift of cache lines exactly
+	// (0 = exact simulation; 4-6 recommended for large workloads).
+	SampleShift uint
+	// SchedulerTimer overrides the Alg. 1 decision interval (virtual ns).
+	SchedulerTimer int64
+	// RemoteFillThreshold overrides RMT_CHIP_ACCESS_RATE (events per
+	// timer interval).
+	RemoteFillThreshold int64
+	// Adaptive disables the adaptive controller when false with
+	// System == CHARM: workers keep their initial dense placement.
+	// Init sets it to true by default; use NoAdapt to disable.
+	NoAdapt bool
+	// Naive selects a topology-oblivious execution: workers scattered
+	// across NUMA nodes with no adaptation and phase-churning task
+	// assignment — the "no architecture-aware runtime support" baseline
+	// of §5.4. Overrides System and NoAdapt.
+	Naive bool
+	// UseSMT permits up to SMTWays workers per physical core. CHARM
+	// itself never co-schedules hyperthread siblings (§4.6); the knob
+	// exists for baselines and the SMT ablation.
+	UseSMT bool
+	// ObliviousSteal replaces CHARM's chiplet-first stealing with
+	// worker-ID ring order (the steal-order ablation).
+	ObliviousSteal bool
+	// MLP overrides the machine's memory-level parallelism for contiguous
+	// accesses (0 = default 8; 1 serializes every miss — the cost-model
+	// ablation in DESIGN.md).
+	MLP int64
+}
+
+// Runtime is an initialized CHARM runtime bound to one simulated machine.
+type Runtime struct {
+	rt *core.Runtime
+	m  *sim.Machine
+}
+
+// Init validates the configuration, builds the simulated machine and the
+// runtime, and starts the workers — the CHARM_Init() of the paper's API.
+func Init(cfg Config) (*Runtime, error) {
+	topo := cfg.Topology
+	if topo == nil {
+		topo = topology.AMDMilan7713x2()
+	}
+	if cfg.CacheScale > 1 {
+		topo = topo.Scaled(cfg.CacheScale)
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, fmt.Errorf("charm: %w", err)
+	}
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("charm: Workers must be positive, got %d", cfg.Workers)
+	}
+	system := cfg.System
+	if system == "" {
+		system = baselines.CHARM
+	}
+	limit := topo.NumCores()
+	if cfg.UseSMT {
+		limit = topo.NumThreads()
+	}
+	if system != baselines.OSAsync && cfg.Workers > limit {
+		return nil, fmt.Errorf("charm: %d workers exceed the machine's %d schedulable units", cfg.Workers, limit)
+	}
+
+	m := sim.New(sim.Config{Topo: topo, SampleShift: cfg.SampleShift, MLP: cfg.MLP})
+	var rt *core.Runtime
+	if cfg.Naive {
+		p := core.NewStaticPolicy(core.SpreadSockets)
+		p.Churn = true
+		rt = core.NewRuntime(m, core.Options{
+			Workers:        cfg.Workers,
+			Policy:         p,
+			SchedulerTimer: cfg.SchedulerTimer,
+			UseSMT:         cfg.UseSMT,
+		})
+	} else if system == baselines.CHARM && cfg.NoAdapt {
+		rt = core.NewRuntime(m, core.Options{
+			Workers:        cfg.Workers,
+			Policy:         core.NewStaticPolicy(core.Compact),
+			SchedulerTimer: cfg.SchedulerTimer,
+			UseSMT:         cfg.UseSMT,
+		})
+	} else {
+		policy := system.Policy()
+		if cfg.ObliviousSteal && system == baselines.CHARM {
+			policy = &core.CharmPolicy{ObliviousSteal: true}
+		}
+		opts := core.Options{
+			Workers:             cfg.Workers,
+			Policy:              policy,
+			SchedulerTimer:      cfg.SchedulerTimer,
+			RemoteFillThreshold: cfg.RemoteFillThreshold,
+			UseSMT:              cfg.UseSMT,
+		}
+		if system == baselines.OSAsync {
+			rt2 := baselines.NewRuntime(m, system, cfg.Workers, cfg.SchedulerTimer)
+			rt2.Start()
+			return &Runtime{rt: rt2, m: m}, nil
+		}
+		rt = core.NewRuntime(m, opts)
+	}
+	rt.Start()
+	return &Runtime{rt: rt, m: m}, nil
+}
+
+// Finalize stops the runtime — the CHARM_Finalize() of the paper's API.
+func (r *Runtime) Finalize() { r.rt.Stop() }
+
+// Run executes fn as a root task and waits for it and all tasks it spawned.
+func (r *Runtime) Run(fn func(*Ctx)) Stats { return r.rt.Run(fn) }
+
+// AllDo runs fn once on every worker and waits — the all_do() primitive.
+func (r *Runtime) AllDo(fn func(*Ctx)) Stats { return r.rt.AllDo(fn) }
+
+// AllDoCo runs fn as a suspendable coroutine once per worker.
+func (r *Runtime) AllDoCo(fn func(*Ctx)) Stats { return r.rt.AllDoCo(fn) }
+
+// ParallelFor executes body over [lo,hi) in chunks of grain iterations.
+func (r *Runtime) ParallelFor(lo, hi, grain int, body func(ctx *Ctx, i0, i1 int)) Stats {
+	return r.rt.ParallelFor(lo, hi, grain, body)
+}
+
+// NewBarrier creates a reusable barrier for n parties.
+func (r *Runtime) NewBarrier(n int) *Barrier { return r.rt.NewBarrier(n) }
+
+// Alloc reserves simulated memory on NUMA node 0.
+func (r *Runtime) Alloc(size int64) Addr { return r.rt.Alloc(size, 0) }
+
+// AllocOn reserves simulated memory bound to a NUMA node.
+func (r *Runtime) AllocOn(size int64, node NodeID) Addr { return r.rt.Alloc(size, node) }
+
+// AllocPolicy reserves simulated memory under an explicit policy.
+func (r *Runtime) AllocPolicy(size int64, p MemPolicy, node NodeID) Addr {
+	return r.rt.AllocPolicy(size, p, node)
+}
+
+// Free releases a simulated allocation.
+func (r *Runtime) Free(a Addr) { r.m.Space.Free(a) }
+
+// Workers returns the worker count.
+func (r *Runtime) Workers() int { return r.rt.Workers() }
+
+// Topology returns the simulated machine's layout.
+func (r *Runtime) Topology() *Topology { return r.m.Topo }
+
+// Now returns the current virtual time (ns since Init).
+func (r *Runtime) Now() int64 { return r.rt.Now() }
+
+// Counter sums a PMU counter over all cores.
+func (r *Runtime) Counter(e Event) int64 { return r.m.PMU.Total(e) }
+
+// CounterOf reads a PMU counter of one core.
+func (r *Runtime) CounterOf(c CoreID, e Event) int64 { return r.m.PMU.Read(int(c), e) }
+
+// SpreadRate returns worker w's current Alg. 1 spread rate.
+func (r *Runtime) SpreadRate(w int) int { return r.rt.Worker(w).SpreadRate() }
+
+// CoreOfWorker reports worker w's current core.
+func (r *Runtime) CoreOfWorker(w int) CoreID { return r.rt.CoreOfWorker(w) }
+
+// LiveTasks returns the instantaneous live-task count (Fig. 12's metric).
+func (r *Runtime) LiveTasks() int64 { return r.rt.LiveTasks() }
+
+// OwnerOf returns the worker owning addr under the delegation model
+// (a worker co-located with the data's home NUMA node; see Ctx.Delegate).
+func (r *Runtime) OwnerOf(addr Addr) int { return r.rt.OwnerOf(addr) }
+
+// EnableProfiler turns the time-series profiler on or off.
+func (r *Runtime) EnableProfiler(on bool) { r.rt.Profiler().Enable(on) }
+
+// Engine exposes the underlying runtime for advanced integrations
+// (the harness and the workload drivers use it).
+func (r *Runtime) Engine() *core.Runtime { return r.rt }
+
+// Machine exposes the simulated machine.
+func (r *Runtime) Machine() *sim.Machine { return r.m }
+
+// PMU events re-exported for metric queries.
+const (
+	FillL2             = pmu.FillL2
+	FillL3Local        = pmu.FillL3Local
+	FillL3RemoteNear   = pmu.FillL3RemoteNear
+	FillL3RemoteFar    = pmu.FillL3RemoteFar
+	FillL3RemoteSocket = pmu.FillL3RemoteSocket
+	FillDRAMLocal      = pmu.FillDRAMLocal
+	FillDRAMRemote     = pmu.FillDRAMRemote
+	TaskRun            = pmu.TaskRun
+	TaskSteal          = pmu.TaskSteal
+	StealRemoteChiplet = pmu.StealRemoteChiplet
+	Migration          = pmu.Migration
+	CtxSwitch          = pmu.CtxSwitch
+	BytesRead          = pmu.BytesRead
+	BytesWritten       = pmu.BytesWritten
+)

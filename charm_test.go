@@ -1,0 +1,272 @@
+package charm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestInitValidation(t *testing.T) {
+	if _, err := Init(Config{}); err == nil {
+		t.Error("zero workers must error")
+	}
+	if _, err := Init(Config{Workers: 10_000}); err == nil {
+		t.Error("too many workers must error")
+	}
+	bad := SmallTopology()
+	bad.Sockets = 0
+	if _, err := Init(Config{Workers: 2, Topology: bad}); err == nil {
+		t.Error("invalid topology must error")
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	rt, err := Init(Config{Workers: 4, Topology: SmallTopology()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Finalize()
+
+	data := rt.Alloc(64 << 10)
+	var touched atomic.Int64
+	st := rt.AllDo(func(ctx *Ctx) {
+		ctx.Read(data, 64<<10)
+		touched.Add(1)
+		ctx.Yield()
+	})
+	if touched.Load() != 4 {
+		t.Errorf("AllDo ran %d times, want 4", touched.Load())
+	}
+	if st.Makespan <= 0 {
+		t.Error("makespan must be positive")
+	}
+	if rt.Counter(BytesRead) < 4*(64<<10) {
+		t.Errorf("BytesRead = %d, want >= %d", rt.Counter(BytesRead), 4*(64<<10))
+	}
+}
+
+func TestSystemsRunSameWorkload(t *testing.T) {
+	for _, s := range []System{SystemCHARM, SystemRING, SystemSHOAL, SystemAsymSched, SystemSAM, SystemOSAsync} {
+		rt, err := Init(Config{Workers: 4, Topology: SmallTopology(), System: s})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		var n atomic.Int64
+		st := rt.ParallelFor(0, 64, 4, func(ctx *Ctx, i0, i1 int) {
+			n.Add(int64(i1 - i0))
+			ctx.Compute(100)
+		})
+		rt.Finalize()
+		if n.Load() != 64 {
+			t.Errorf("%s: covered %d iterations, want 64", s, n.Load())
+		}
+		if st.Makespan <= 0 {
+			t.Errorf("%s: non-positive makespan", s)
+		}
+	}
+}
+
+func TestNoAdaptKeepsPlacement(t *testing.T) {
+	rt, err := Init(Config{Workers: 2, Topology: SmallTopology(), NoAdapt: true, SchedulerTimer: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Finalize()
+	before := rt.CoreOfWorker(0)
+	big := rt.Alloc(8 << 20)
+	rt.AllDo(func(ctx *Ctx) {
+		for i := 0; i < 10; i++ {
+			ctx.Read(big, 8<<20)
+			ctx.Yield()
+		}
+	})
+	if got := rt.CoreOfWorker(0); got != before {
+		t.Errorf("NoAdapt migrated worker 0 from %d to %d", before, got)
+	}
+	if rt.Counter(Migration) != 0 {
+		t.Errorf("NoAdapt recorded %d migrations", rt.Counter(Migration))
+	}
+}
+
+func TestCacheScale(t *testing.T) {
+	rt, err := Init(Config{Workers: 1, CacheScale: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Finalize()
+	if got := rt.Topology().L3PerChiplet; got != (32<<20)/1024 {
+		t.Errorf("scaled L3 = %d, want %d", got, (32<<20)/1024)
+	}
+}
+
+func TestAllocPolicyAndFree(t *testing.T) {
+	rt, err := Init(Config{Workers: 1, Topology: SmallTopology()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Finalize()
+	a := rt.AllocPolicy(1<<16, Interleave, 0)
+	rt.Run(func(ctx *Ctx) { ctx.Read(a, 1<<16) })
+	rt.Free(a)
+}
+
+func TestBarrierAPI(t *testing.T) {
+	rt, err := Init(Config{Workers: 3, Topology: SmallTopology()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Finalize()
+	b := rt.NewBarrier(3)
+	var phase1 atomic.Int64
+	var ordered atomic.Bool
+	ordered.Store(true)
+	rt.AllDo(func(ctx *Ctx) {
+		phase1.Add(1)
+		ctx.Barrier(b)
+		if phase1.Load() != 3 {
+			ordered.Store(false)
+		}
+	})
+	if !ordered.Load() {
+		t.Error("work after the barrier observed incomplete phase 1")
+	}
+}
+
+func TestSpreadRateVisible(t *testing.T) {
+	rt, err := Init(Config{Workers: 2, Topology: SmallTopology(), SchedulerTimer: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Finalize()
+	if got := rt.SpreadRate(0); got != 1 {
+		t.Errorf("initial spread rate = %d, want 1", got)
+	}
+}
+
+// ExampleInit demonstrates the paper's API surface end to end.
+func ExampleInit() {
+	rt, err := Init(Config{Workers: 4, Topology: SmallTopology()})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Finalize()
+
+	data := rt.Alloc(1 << 16)
+	rt.AllDo(func(ctx *Ctx) {
+		ctx.Read(data, 1<<16)
+		ctx.Yield()
+	})
+	fmt.Println("workers:", rt.Workers())
+	fmt.Println("chiplets:", rt.Topology().NumChiplets())
+	// Output:
+	// workers: 4
+	// chiplets: 4
+}
+
+func TestConfigKnobs(t *testing.T) {
+	// Each ablation/config knob must produce a working runtime.
+	knobs := []Config{
+		{Workers: 4, Topology: SmallTopology(), Naive: true},
+		{Workers: 4, Topology: SmallTopology(), ObliviousSteal: true},
+		{Workers: 4, Topology: SmallTopology(), MLP: 1},
+		{Workers: 8, Topology: smtSmall(), UseSMT: true},
+	}
+	for i, cfg := range knobs {
+		rt, err := Init(cfg)
+		if err != nil {
+			t.Fatalf("knob %d: %v", i, err)
+		}
+		var n atomic.Int64
+		rt.ParallelFor(0, 32, 4, func(ctx *Ctx, i0, i1 int) {
+			n.Add(int64(i1 - i0))
+			ctx.Compute(100)
+		})
+		rt.Finalize()
+		if n.Load() != 32 {
+			t.Errorf("knob %d: covered %d", i, n.Load())
+		}
+	}
+}
+
+func smtSmall() *Topology {
+	tp := SmallTopology()
+	tp.SMTWays = 2
+	return tp
+}
+
+func TestUseSMTWorkerLimit(t *testing.T) {
+	// Without UseSMT 32 workers exceed the 16 cores; with it they fit.
+	if _, err := Init(Config{Workers: 32, Topology: smtSmall()}); err == nil {
+		t.Error("32 workers on 16 cores must error without UseSMT")
+	}
+	rt, err := Init(Config{Workers: 32, Topology: smtSmall(), UseSMT: true})
+	if err != nil {
+		t.Fatalf("UseSMT: %v", err)
+	}
+	rt.Finalize()
+}
+
+func TestAllDoCo(t *testing.T) {
+	rt, err := Init(Config{Workers: 3, Topology: SmallTopology()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Finalize()
+	var yields atomic.Int64
+	st := rt.AllDoCo(func(ctx *Ctx) {
+		for i := 0; i < 5; i++ {
+			ctx.Yield()
+			yields.Add(1)
+		}
+	})
+	if st.Tasks != 3 || yields.Load() != 15 {
+		t.Errorf("tasks=%d yields=%d", st.Tasks, yields.Load())
+	}
+}
+
+func TestOwnerOfAndDelegatePublic(t *testing.T) {
+	rt, err := Init(Config{Workers: 4, Topology: SmallTopology()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Finalize()
+	a := rt.Alloc(4096)
+	owner := rt.OwnerOf(a)
+	if owner < 0 || owner >= 4 {
+		t.Fatalf("owner %d", owner)
+	}
+	var ran atomic.Int64
+	ran.Store(-1)
+	rt.Run(func(ctx *Ctx) {
+		ctx.Delegate(a, func(c *Ctx) { ran.Store(int64(c.Worker())) })
+	})
+	if int(ran.Load()) != owner {
+		t.Errorf("delegate ran on %d, want %d", ran.Load(), owner)
+	}
+}
+
+func TestCounterOfAndProfilerPublic(t *testing.T) {
+	rt, err := Init(Config{Workers: 2, Topology: SmallTopology(), SchedulerTimer: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Finalize()
+	rt.EnableProfiler(true)
+	a := rt.AllocOn(1<<16, 0)
+	rt.AllDo(func(ctx *Ctx) {
+		for i := 0; i < 50; i++ {
+			ctx.Read(a, 1<<16)
+			ctx.Yield()
+		}
+	})
+	var total int64
+	for c := 0; c < rt.Topology().NumCores(); c++ {
+		total += rt.CounterOf(CoreID(c), BytesRead)
+	}
+	if total != rt.Counter(BytesRead) {
+		t.Errorf("per-core sum %d != total %d", total, rt.Counter(BytesRead))
+	}
+	if rt.LiveTasks() != 0 {
+		t.Errorf("live tasks after completion = %d", rt.LiveTasks())
+	}
+}

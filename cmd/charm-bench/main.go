@@ -1,0 +1,76 @@
+// Command charm-bench regenerates the paper's tables and figures on the
+// simulated chiplet machines.
+//
+// Usage:
+//
+//	charm-bench [-full] [-scale N] [-timer NS] [-sample S] <experiment>|all
+//
+// Experiments: fig1 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+// fig14 tab1 tab2 sens abl. The default options run each experiment in
+// seconds; -full selects paper-sized inputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"charm/internal/harness"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-sized inputs (slow)")
+	scale := flag.Int("scale", 0, "override graph scale (log2 vertices)")
+	timer := flag.Int64("timer", 0, "override scheduler timer (virtual ns)")
+	sample := flag.Uint("sample", 0, "override cache sample shift")
+	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	runs := flag.Int("runs", 1, "repeat measured cells and report mean±sd (fig7/fig8)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: charm-bench [flags] <experiment>|all")
+		fmt.Fprintln(os.Stderr, "experiments:", harness.Defaults().IDs())
+		os.Exit(2)
+	}
+
+	o := harness.Defaults()
+	if *full {
+		o = harness.FullScale()
+	}
+	if *scale > 0 {
+		o.GraphScale = *scale
+	}
+	if *timer > 0 {
+		o.SchedulerTimer = *timer
+	}
+	if *sample > 0 {
+		o.SampleShift = *sample
+	}
+	if *runs > 1 {
+		o.Runs = *runs
+	}
+
+	ids := []string{flag.Arg(0)}
+	if flag.Arg(0) == "all" {
+		ids = o.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := o.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *asCSV {
+			fmt.Printf("# %s — %s\n", t.ID, t.Title)
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			continue
+		}
+		t.Fprint(os.Stdout)
+		fmt.Printf("# %s regenerated in %v (host time)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

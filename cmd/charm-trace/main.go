@@ -1,0 +1,75 @@
+// Command charm-trace runs a representative adaptive workload with the
+// profiler enabled and writes a Chrome trace-event JSON file showing each
+// worker's spread_rate, fill rate, and migrations over virtual time. Load
+// the output at chrome://tracing or https://ui.perfetto.dev.
+//
+// Usage:
+//
+//	charm-trace [-workers N] [-o trace.json] [-workload phases|bfs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"charm"
+	"charm/internal/workloads/graph"
+)
+
+func main() {
+	workers := flag.Int("workers", 16, "worker count")
+	out := flag.String("o", "trace.json", "output file")
+	workload := flag.String("workload", "phases", "workload: phases (growing/shrinking working set) or bfs")
+	flag.Parse()
+
+	rt, err := charm.Init(charm.Config{
+		Workers:        *workers,
+		CacheScale:     256,
+		SchedulerTimer: 25_000,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer rt.Finalize()
+	rt.EnableProfiler(true)
+
+	switch *workload {
+	case "phases":
+		l3 := rt.Topology().L3PerChiplet
+		for _, size := range []int64{l3 / 2, 8 * l3, l3 / 2} {
+			data := rt.AllocPolicy(size, charm.FirstTouch, 0)
+			seg := size / int64(rt.Workers())
+			rt.AllDo(func(ctx *charm.Ctx) {
+				own := data + charm.Addr(int64(ctx.Worker())*seg)
+				for r := 0; r < 800; r++ {
+					ctx.Read(own, seg)
+					ctx.Write(own, seg)
+					ctx.Yield()
+				}
+			})
+			rt.Free(data)
+		}
+	case "bfs":
+		g := graph.Kronecker(graph.GenConfig{LogVertices: 13, EdgeFactor: 16, Seed: 42})
+		b := graph.Bind(rt, g, 128)
+		b.BFS(0)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := rt.Engine().Profiler().WriteChromeTrace(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d migrations, final virtual time %.3f ms)\n",
+		*out, rt.Counter(charm.Migration), float64(rt.Now())/1e6)
+}

@@ -1,0 +1,3 @@
+module charm
+
+go 1.22

@@ -1,0 +1,119 @@
+// Package baselines implements the four comparison systems of the paper's
+// evaluation (§5.1) as placement/adaptation policies over the shared
+// runtime engine, plus the std::async OS-thread baseline of §5.5:
+//
+//   - RING: NUMA-aware message-batching runtime — balances workers across
+//     NUMA nodes and allocates node-locally, but is chiplet-oblivious.
+//   - SHOAL: smart memory allocation/replication for NUMA — sequential
+//     core assignment (task 0 -> core 0) plus array replication.
+//   - AsymSched: bandwidth-centric NUMA scheduler — keeps thread groups
+//     per node and migrates them to balance memory bandwidth.
+//   - SAM: contention-aware scheduler — separates data-sharing threads
+//     from memory-bound threads at socket granularity.
+//
+// All of them are NUMA-aware but chiplet-oblivious, the property the paper
+// identifies as their shared limitation.
+package baselines
+
+import (
+	"charm/internal/core"
+	"charm/internal/pmu"
+	"charm/internal/sim"
+	"charm/internal/topology"
+)
+
+// System identifies a runtime system under evaluation.
+type System string
+
+// The systems compared throughout the evaluation.
+const (
+	CHARM     System = "charm"
+	RING      System = "ring"
+	SHOAL     System = "shoal"
+	AsymSched System = "asymsched"
+	SAM       System = "sam"
+	OSAsync   System = "os-async"
+)
+
+// Policy returns the core.Policy implementing the system's placement and
+// adaptation strategy.
+func (s System) Policy() core.Policy {
+	switch s {
+	case CHARM:
+		return core.NewCharmPolicy()
+	case RING:
+		return &ringPolicy{}
+	case SHOAL:
+		return &shoalPolicy{}
+	case AsymSched:
+		return &asymSchedPolicy{}
+	case SAM:
+		return &samPolicy{}
+	case OSAsync:
+		return &osAsyncPolicy{}
+	default:
+		panic("baselines: unknown system " + string(s))
+	}
+}
+
+// NewRuntime builds a runtime configured the way the system would run on
+// machine m with the given worker count. schedTimer parameterizes the
+// adaptation interval shared by all adaptive systems.
+func NewRuntime(m *sim.Machine, s System, workers int, schedTimer int64) *core.Runtime {
+	opts := core.Options{
+		Workers:        workers,
+		Policy:         s.Policy(),
+		SchedulerTimer: schedTimer,
+	}
+	if s == OSAsync {
+		// std::async maps each task to an OS thread: thread spawn per
+		// task, OS context switches, and a thread flood oversubscribing
+		// the cores (§5.5: 641 threads on 32 cores).
+		opts.Oversubscribe = true
+		opts.Workers = workers * osAsyncThreadFactor
+		opts.Overheads = core.TaskOverheads{
+			Spawn:  m.Topo.Cost.ThreadSpawn,
+			Switch: m.Topo.Cost.ThreadSwitch,
+		}
+	}
+	return core.NewRuntime(m, opts)
+}
+
+// osAsyncThreadFactor models how many OS threads std::async keeps alive per
+// core under a blocking fork/join workload.
+const osAsyncThreadFactor = 4
+
+// spreadWithinNode places worker w (node-local index `local`) round-robin
+// across the chiplets of node `node` — the chiplet-oblivious scatter that
+// NUMA-aware runtimes produce within a node.
+func spreadWithinNode(t *topology.Topology, node topology.NodeID, local int) topology.CoreID {
+	chipletsPerNode := t.ChipletsPerNode
+	ch := local % chipletsPerNode
+	slot := (local / chipletsPerNode) % t.CoresPerChiplet
+	base := int(node) * t.CoresPerNode()
+	return topology.CoreID(base + ch*t.CoresPerChiplet + slot)
+}
+
+// nodeBalancedCore places worker w round-robin across NUMA nodes, scattered
+// across chiplets within each node.
+func nodeBalancedCore(worker int, t *topology.Topology) topology.CoreID {
+	nodes := t.NumNodes()
+	node := topology.NodeID(worker % nodes)
+	local := worker / nodes
+	return spreadWithinNode(t, node, local)
+}
+
+// dramFillDelta reads the DRAM fill counters of a worker's current core.
+func dramFills(w *core.Worker) (local, remote int64) {
+	p := w.Runtime().M.PMU
+	c := int(w.Core())
+	return p.Read(c, pmu.FillDRAMLocal), p.Read(c, pmu.FillDRAMRemote)
+}
+
+// coherenceFills reads the cache-to-cache fill counters of a worker's core.
+func coherenceFills(w *core.Worker) int64 {
+	p := w.Runtime().M.PMU
+	c := int(w.Core())
+	return p.Read(c, pmu.FillL3RemoteNear) + p.Read(c, pmu.FillL3RemoteFar) +
+		p.Read(c, pmu.FillL3RemoteSocket)
+}

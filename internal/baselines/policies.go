@@ -1,0 +1,177 @@
+package baselines
+
+import (
+	"charm/internal/core"
+	"charm/internal/topology"
+)
+
+// ringPolicy models RING (Meng & Tan): a NUMA-aware message-batching
+// runtime. Workers are balanced across NUMA nodes and memory is allocated
+// node-locally; within a node cores are picked without regard for chiplet
+// boundaries, and stealing is node-first but chiplet-oblivious. RING never
+// migrates threads after placement.
+type ringPolicy struct{}
+
+func (p *ringPolicy) Name() string { return "ring" }
+
+func (p *ringPolicy) InitialCore(worker, workers int, t *topology.Topology) topology.CoreID {
+	return nodeBalancedCore(worker, t)
+}
+
+func (p *ringPolicy) OnTimer(w *core.Worker, elapsed int64) {}
+
+func (p *ringPolicy) StealOrder(w *core.Worker) []int {
+	return core.NodeFirstStealOrder(w)
+}
+
+// shoalPolicy models SHOAL (Kaestle et al.): smart array allocation and
+// replication for NUMA machines with strictly sequential thread placement —
+// thread 0 on core 0, thread 1 on core 1 (§5.4: with 16 cores it uses only
+// 2 of 8 chiplets). Array replication is modeled by the workloads through
+// ReplicatedAlloc; the policy itself never adapts.
+type shoalPolicy struct{}
+
+func (p *shoalPolicy) Name() string { return "shoal" }
+
+func (p *shoalPolicy) InitialCore(worker, workers int, t *topology.Topology) topology.CoreID {
+	return topology.CoreID(worker % t.NumCores())
+}
+
+func (p *shoalPolicy) OnTimer(w *core.Worker, elapsed int64) {}
+
+func (p *shoalPolicy) StealOrder(w *core.Worker) []int {
+	return core.SequentialStealOrder(w)
+}
+
+// asymSchedPolicy models AsymSched (Lepers et al.): a bandwidth-centric
+// scheduler that keeps thread groups on NUMA nodes and migrates a thread
+// toward the node serving most of its memory traffic. It is NUMA-granular:
+// the destination core within a node is chiplet-oblivious.
+type asymSchedPolicy struct{}
+
+func (p *asymSchedPolicy) Name() string { return "asymsched" }
+
+func (p *asymSchedPolicy) InitialCore(worker, workers int, t *topology.Topology) topology.CoreID {
+	return nodeBalancedCore(worker, t)
+}
+
+// OnTimer migrates the worker to the remote node when remote DRAM fills
+// dominate local ones (2x hysteresis), AsymSched's bandwidth-locality move.
+func (p *asymSchedPolicy) OnTimer(w *core.Worker, elapsed int64) {
+	local, remote := dramFills(w)
+	if remote <= 2*local || remote == 0 {
+		return
+	}
+	t := w.Runtime().M.Topo
+	if t.NumNodes() < 2 {
+		return
+	}
+	// Move to the next node, keeping the node-local scatter position, and
+	// take the worker's memory along (AsymSched migrates thread and
+	// memory placement together).
+	cur := t.NodeOfCore(w.Core())
+	next := topology.NodeID((int(cur) + 1) % t.NumNodes())
+	w.Migrate(spreadWithinNode(t, next, w.ID()/t.NumNodes()))
+	w.RebindAllocs(next)
+}
+
+func (p *asymSchedPolicy) StealOrder(w *core.Worker) []int {
+	return core.NodeFirstStealOrder(w)
+}
+
+// samPolicy models SAM (Srikanthan et al.): a contention-aware scheduler
+// that co-locates threads with high coherence activity on one socket and
+// spreads memory-bound threads across sockets. Decisions use IPC/coherence
+// PMU heuristics at socket granularity; §5.3 notes these heuristics are
+// poorly suited to chiplet designs, which emerges here because SAM's moves
+// ignore chiplet boundaries entirely.
+type samPolicy struct{}
+
+func (p *samPolicy) Name() string { return "sam" }
+
+func (p *samPolicy) InitialCore(worker, workers int, t *topology.Topology) topology.CoreID {
+	return nodeBalancedCore(worker, t)
+}
+
+// OnTimer applies SAM's two rules: coherence-dominated workers consolidate
+// onto socket 0; DRAM-dominated workers spread round-robin across sockets.
+func (p *samPolicy) OnTimer(w *core.Worker, elapsed int64) {
+	t := w.Runtime().M.Topo
+	if t.Sockets < 2 {
+		return
+	}
+	local, remote := dramFills(w)
+	coh := coherenceFills(w)
+	dram := local + remote
+	switch {
+	case coh > 2*dram:
+		// Sharing-dominated: pull to socket 0 (chiplet-obliviously).
+		if t.SocketOfCore(w.Core()) != 0 {
+			w.Migrate(spreadWithinNode(t, 0, w.ID()))
+		}
+	case dram > 2*coh && dram > 0:
+		// Bandwidth-dominated: spread across sockets by worker parity.
+		want := topology.NodeID(w.ID() % t.NumNodes())
+		if t.NodeOfCore(w.Core()) != want {
+			w.Migrate(spreadWithinNode(t, want, w.ID()/t.NumNodes()))
+		}
+	}
+}
+
+func (p *samPolicy) StealOrder(w *core.Worker) []int {
+	return core.NodeFirstStealOrder(w)
+}
+
+// osAsyncPolicy models std::async's OS scheduling: threads land on cores
+// round-robin with no topology awareness at all, and the thread flood
+// oversubscribes every core (occupancy-inflated costs).
+type osAsyncPolicy struct{}
+
+func (p *osAsyncPolicy) Name() string { return "os-async" }
+
+func (p *osAsyncPolicy) InitialCore(worker, workers int, t *topology.Topology) topology.CoreID {
+	// The OS spreads runnable threads over all cores; with a thread
+	// flood, every core hosts several.
+	cores := t.NumCores()
+	useCores := workers / osAsyncThreadFactor
+	if useCores < 1 || useCores > cores {
+		useCores = cores
+	}
+	return topology.CoreID(worker % useCores)
+}
+
+func (p *osAsyncPolicy) OnTimer(w *core.Worker, elapsed int64) {}
+
+func (p *osAsyncPolicy) StealOrder(w *core.Worker) []int {
+	return core.SequentialStealOrder(w)
+}
+
+// Task-assignment behavior: RING, AsymSched, SAM, and std::async hand tasks
+// to whichever thread the balancer picks — no task-identity affinity, so
+// the mapping churns across phases and cached working sets move between
+// chiplets. SHOAL's array-static decomposition keeps task i on thread i.
+
+// AssignWorker implements core.Policy.
+func (p *ringPolicy) AssignWorker(i int, phase uint64, workers int) int {
+	return core.ChurnAssign(i, phase, workers)
+}
+
+// AssignWorker implements core.Policy.
+func (p *shoalPolicy) AssignWorker(i int, phase uint64, workers int) int {
+	return core.StableAssign(i, phase, workers)
+}
+
+// AssignWorker implements core.Policy.
+func (p *asymSchedPolicy) AssignWorker(i int, phase uint64, workers int) int {
+	return core.ChurnAssign(i, phase, workers)
+}
+
+// AssignWorker implements core.Policy.
+func (p *samPolicy) AssignWorker(i int, phase uint64, workers int) int {
+	return core.ChurnAssign(i, phase, workers)
+}
+
+// AssignWorker implements core.Policy.
+func (p *osAsyncPolicy) AssignWorker(i int, phase uint64, workers int) int {
+	return core.ChurnAssign(i, phase, workers)
+}

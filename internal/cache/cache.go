@@ -1,0 +1,178 @@
+// Package cache implements the set-associative cache structures of the
+// simulated machine: core-private L2s and chiplet-local L3 slices.
+//
+// Tag arrays use atomics so concurrent simulated cores can probe and fill
+// without locks; a lost LRU-update race merely perturbs replacement, which
+// is statistically irrelevant. Set sampling (DESIGN.md §4.1) shrinks the
+// simulated tag arrays: a cache configured with sample shift s holds
+// capacity/2^s lines and is probed only for lines whose index is a multiple
+// of 2^s, the classic set-sampling technique from architecture simulation.
+package cache
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// LineShift is log2 of the cache line size (64 B).
+const LineShift = 6
+
+// LineSize is the cache line size in bytes.
+const LineSize = 1 << LineShift
+
+// way is one slot of a set: an atomically updated (tag, lastUse) pair.
+// tag 0 means empty; stored tags are line+1.
+type way struct {
+	tag atomic.Uint64
+	use atomic.Int64
+}
+
+// Cache is a set-associative cache over line numbers (addr >> LineShift).
+// It is safe for concurrent use.
+type Cache struct {
+	sets    []way // numSets * ways, row-major
+	numSets int
+	ways    int
+	// sampleShift: only lines with line % 2^sampleShift == 0 belong here.
+	sampleShift uint
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// New builds a cache of capacityBytes with the given associativity,
+// simulating only 1/2^sampleShift of its sets. Capacity is rounded down to
+// a whole number of sets; at least one set is always simulated.
+func New(capacityBytes int64, ways int, sampleShift uint) *Cache {
+	if ways <= 0 {
+		panic(fmt.Sprintf("cache: ways must be positive, got %d", ways))
+	}
+	if capacityBytes <= 0 {
+		panic(fmt.Sprintf("cache: capacity must be positive, got %d", capacityBytes))
+	}
+	lines := capacityBytes >> LineShift
+	sets := int(lines) / ways >> sampleShift
+	if sets < 1 {
+		sets = 1
+	}
+	return &Cache{
+		sets:        make([]way, sets*ways),
+		numSets:     sets,
+		ways:        ways,
+		sampleShift: sampleShift,
+	}
+}
+
+// Sampled reports whether this cache simulates the given line.
+func (c *Cache) Sampled(line uint64) bool {
+	return line&((1<<c.sampleShift)-1) == 0
+}
+
+// setOf maps a sampled line to its set index. The sample bits are removed
+// first so sampled lines spread over all simulated sets.
+func (c *Cache) setOf(line uint64) int {
+	return int((line >> c.sampleShift) % uint64(c.numSets))
+}
+
+// Lookup probes for line; on a hit it refreshes the LRU stamp with now and
+// returns true. The caller must only pass sampled lines.
+func (c *Cache) Lookup(line uint64, now int64) bool {
+	tag := line + 1
+	base := c.setOf(line) * c.ways
+	for i := 0; i < c.ways; i++ {
+		w := &c.sets[base+i]
+		if w.tag.Load() == tag {
+			w.use.Store(now)
+			c.hits.Add(1)
+			return true
+		}
+	}
+	c.misses.Add(1)
+	return false
+}
+
+// Contains probes for line without touching LRU state or hit statistics.
+func (c *Cache) Contains(line uint64) bool {
+	tag := line + 1
+	base := c.setOf(line) * c.ways
+	for i := 0; i < c.ways; i++ {
+		if c.sets[base+i].tag.Load() == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places line into its set, evicting the LRU way if the set is full.
+// It returns the evicted line and true when an eviction happened. Inserting
+// a line that is already present refreshes it instead.
+func (c *Cache) Insert(line uint64, now int64) (evicted uint64, ok bool) {
+	tag := line + 1
+	base := c.setOf(line) * c.ways
+	victim := base
+	victimUse := int64(1<<63 - 1)
+	for i := 0; i < c.ways; i++ {
+		w := &c.sets[base+i]
+		t := w.tag.Load()
+		if t == tag {
+			w.use.Store(now)
+			return 0, false
+		}
+		if t == 0 {
+			// Empty way: take it immediately.
+			w.tag.Store(tag)
+			w.use.Store(now)
+			return 0, false
+		}
+		if u := w.use.Load(); u < victimUse {
+			victimUse = u
+			victim = base + i
+		}
+	}
+	w := &c.sets[victim]
+	old := w.tag.Load()
+	w.tag.Store(tag)
+	w.use.Store(now)
+	if old == 0 {
+		return 0, false
+	}
+	return old - 1, true
+}
+
+// Invalidate removes line if present and reports whether it was.
+func (c *Cache) Invalidate(line uint64) bool {
+	tag := line + 1
+	base := c.setOf(line) * c.ways
+	for i := 0; i < c.ways; i++ {
+		w := &c.sets[base+i]
+		if w.tag.Load() == tag {
+			w.tag.Store(0)
+			return true
+		}
+	}
+	return false
+}
+
+// Clear empties the cache.
+func (c *Cache) Clear() {
+	for i := range c.sets {
+		c.sets[i].tag.Store(0)
+		c.sets[i].use.Store(0)
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// Stats returns the lookup hit/miss counters.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Sets returns the number of simulated sets. Ways returns associativity.
+func (c *Cache) Sets() int { return c.numSets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Capacity returns the number of lines the simulated structure holds.
+func (c *Cache) Capacity() int { return c.numSets * c.ways }

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"charm/internal/vtime"
+)
+
+// RtBarrier is the barrier() synchronization primitive of the CHARM API:
+// all parties block until the last arrives; everyone resumes at the maximum
+// arrival time plus the barrier cost. Reusable across generations.
+type RtBarrier struct {
+	parties int
+	cost    int64
+
+	mu  sync.Mutex
+	cur *barGen
+}
+
+type barGen struct {
+	waiting int
+	vb      vtime.Barrier
+	release chan struct{}
+	t       int64
+}
+
+// NewBarrier creates a barrier for n parties.
+func (rt *Runtime) NewBarrier(n int) *RtBarrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("core: barrier parties must be positive, got %d", n))
+	}
+	return &RtBarrier{
+		parties: n,
+		cost:    rt.opts.BarrierCost,
+		cur:     &barGen{release: make(chan struct{})},
+	}
+}
+
+// wait blocks the calling goroutine until all parties arrived and returns
+// the common virtual release time.
+func (b *RtBarrier) wait(now int64) int64 {
+	b.mu.Lock()
+	g := b.cur
+	g.vb.Enter(now)
+	g.waiting++
+	if g.waiting == b.parties {
+		g.t = g.vb.Release(b.cost)
+		b.cur = &barGen{release: make(chan struct{})}
+		close(g.release)
+		b.mu.Unlock()
+		return g.t
+	}
+	b.mu.Unlock()
+	<-g.release
+	return g.t
+}

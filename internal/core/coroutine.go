@@ -1,0 +1,63 @@
+package core
+
+import (
+	"charm/internal/pmu"
+)
+
+// coroutine backs a suspendable task with its own (goroutine) stack — the
+// user-level-thread half of CHARM's concurrency model (§4.4). The worker
+// goroutine and the coroutine goroutine hand control back and forth over
+// unbuffered channels, so exactly one of them runs at a time and the
+// worker's virtual clock is always owned by the running side.
+type coroutine struct {
+	ctx *Ctx
+	// resume carries control worker -> coroutine.
+	resume chan struct{}
+	// status carries control coroutine -> worker; true = yielded,
+	// false = finished.
+	status  chan bool
+	started bool
+}
+
+// yield suspends the coroutine until a worker resumes it. Called from the
+// coroutine goroutine.
+func (co *coroutine) yield() {
+	co.status <- true
+	<-co.resume
+}
+
+// runCoroutine starts or resumes a coroutine task and processes its next
+// suspension or completion. Called from the worker goroutine.
+func (w *Worker) runCoroutine(t *Task) {
+	if t.co == nil {
+		t.co = &coroutine{
+			resume: make(chan struct{}),
+			status: make(chan bool),
+		}
+		t.co.ctx = &Ctx{w: w, task: t, co: t.co}
+	}
+	co := t.co
+	// Rebind the coroutine to this worker: after a steal the task now
+	// advances the thief's clock and touches the thief's caches.
+	co.ctx.w = w
+	w.clock.Advance(w.rt.opts.Overheads.Switch)
+	w.rt.M.PMU.Add(int(w.Core()), pmu.CtxSwitch, 1)
+
+	if !co.started {
+		co.started = true
+		go func() {
+			runRecovered(t, func() { t.fn(co.ctx) })
+			co.status <- false
+		}()
+	} else {
+		co.resume <- struct{}{}
+	}
+
+	if yielded := <-co.status; yielded {
+		// Suspended: make the continuation schedulable (and stealable,
+		// which is how tasks migrate across chiplets).
+		w.deque.Push(t)
+		return
+	}
+	w.finishTask(t)
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"charm/internal/mem"
+	"charm/internal/pmu"
+	"charm/internal/topology"
+)
+
+// Ctx is the execution context handed to every task. It routes the task's
+// memory accesses through the simulated machine, advances the executing
+// worker's virtual clock, and exposes the CHARM task API (spawn, yield,
+// call, barrier).
+//
+// A Ctx is only valid inside the task function it was created for.
+type Ctx struct {
+	w    *Worker
+	task *Task
+	co   *coroutine
+}
+
+// Worker returns the executing worker's ID. For coroutines this can change
+// across Yield points when the task migrates.
+func (c *Ctx) Worker() int { return c.w.id }
+
+// CoreID returns the simulated core currently executing the task.
+func (c *Ctx) CoreID() topology.CoreID { return c.w.Core() }
+
+// Chiplet returns the chiplet of the executing core.
+func (c *Ctx) Chiplet() topology.ChipletID {
+	return c.w.rt.M.Topo.ChipletOf(c.w.Core())
+}
+
+// Now returns the task's current virtual time.
+func (c *Ctx) Now() int64 { return c.w.clock.Now() }
+
+// Runtime returns the owning runtime.
+func (c *Ctx) Runtime() *Runtime { return c.w.rt }
+
+// advance adds cost to the worker clock, inflated by core occupancy when
+// several workers share one physical core. Up to the core's SMT width the
+// sharing is hyperthreading: each sibling runs at reduced speed (~40%
+// mutual slowdown, the L1/L2 contention §4.6 says CHARM avoids); beyond
+// that it is timesharing, which serializes.
+func (c *Ctx) advance(cost int64) {
+	if occ := c.w.rt.coreOcc[c.w.Core()].Load(); occ > 1 {
+		if int(occ) <= c.w.rt.M.Topo.SMT() {
+			cost = cost * (10 + 4*int64(occ-1)) / 10
+		} else {
+			cost *= int64(occ)
+		}
+	}
+	c.w.clock.Advance(cost)
+}
+
+// Read simulates reading [addr, addr+size).
+func (c *Ctx) Read(addr mem.Addr, size int64) {
+	c.advance(c.w.rt.M.Access(c.w.Core(), c.w.clock.Now(), addr, size, false))
+}
+
+// Write simulates writing [addr, addr+size).
+func (c *Ctx) Write(addr mem.Addr, size int64) {
+	c.advance(c.w.rt.M.Access(c.w.Core(), c.w.clock.Now(), addr, size, true))
+}
+
+// RMW simulates an atomic read-modify-write on [addr, addr+size): a read, a
+// write, and the intra-chiplet CAS cost (crossing-chiplet cost emerges from
+// the coherence model when the line is held elsewhere).
+func (c *Ctx) RMW(addr mem.Addr, size int64) {
+	core, now := c.w.Core(), c.w.clock.Now()
+	cost := c.w.rt.M.Access(core, now, addr, size, false)
+	cost += c.w.rt.M.Access(core, now+cost, addr, size, true)
+	cost += c.w.rt.M.Topo.Cost.CASIntraChiplet
+	c.advance(cost)
+}
+
+// Compute charges ns nanoseconds of pure CPU work.
+func (c *Ctx) Compute(ns int64) { c.advance(ns) }
+
+// Alloc reserves simulated memory bound to the worker's current NUMA node
+// (the allocation policy Alg. 2 maintains). The worker remembers its
+// allocations so memory-migrating policies can move them with it.
+func (c *Ctx) Alloc(size int64) mem.Addr {
+	a := c.w.rt.M.Space.AllocLocal(size, c.w.allocNode)
+	c.w.ownAllocs = append(c.w.ownAllocs, a)
+	return a
+}
+
+// Yield is the cooperative scheduling point of §4.4. In a coroutine task it
+// suspends execution: the worker regains control, may run or steal other
+// tasks, the profiler/adaptive controller runs, and the coroutine resumes
+// later — possibly on a different worker and chiplet. In a run-to-completion
+// task it is only a scheduling check point (the Alg. 1 timer).
+func (c *Ctx) Yield() {
+	if c.co == nil {
+		// Scheduling point: honor the virtual-time gate (so concurrent
+		// tasks interleave at window granularity even mid-task) and run
+		// the Alg. 1 timer.
+		c.w.throttle()
+		c.w.maybeTick()
+		return
+	}
+	c.co.yield()
+}
+
+// Spawn schedules fn as a new task in the same completion group, on the
+// current worker's deque (stealable, so load balancing distributes it).
+func (c *Ctx) Spawn(fn func(*Ctx)) {
+	t := c.w.rt.newTask(fn, c.task.grp, c.w.clock.Now(), false, c.w.id)
+	c.task.grp.add(1)
+	c.w.deque.Push(t)
+}
+
+// SpawnCo schedules fn as a coroutine task (suspendable via Yield).
+func (c *Ctx) SpawnCo(fn func(*Ctx)) {
+	t := c.w.rt.newTask(fn, c.task.grp, c.w.clock.Now(), true, c.w.id)
+	c.task.grp.add(1)
+	c.w.deque.Push(t)
+}
+
+// CallAsync sends fn for asynchronous execution on the target worker (the
+// call_async RPC of the CHARM API). The message pays the fabric latency
+// between the two workers' cores.
+func (c *Ctx) CallAsync(target int, fn func(*Ctx)) {
+	rt := c.w.rt
+	if target < 0 || target >= len(rt.workers) {
+		panic(fmt.Sprintf("core: CallAsync target %d out of range", target))
+	}
+	tw := rt.workers[target]
+	// The sender pays the message-issue cost; the in-flight latency is
+	// carried by the task's start stamp.
+	c.advance(rt.M.Topo.Cost.StealPenalty)
+	delay := rt.M.Fabric.MessageDelay(c.w.Core(), tw.Core(), c.w.clock.Now(), 64)
+	t := rt.newTask(fn, c.task.grp, c.w.clock.Now()+delay, false, target)
+	t.pinned = true
+	c.task.grp.add(1)
+	tw.inbox.Put(t)
+}
+
+// Call executes fn on the target worker and blocks until it completes (the
+// synchronous call RPC). The reply pays the return fabric latency. Calling
+// a worker's own ID runs fn inline. From a run-to-completion task, Call on
+// another worker spins the host thread; prefer coroutines for heavy RPC use.
+func (c *Ctx) Call(target int, fn func(*Ctx)) {
+	rt := c.w.rt
+	if target == c.w.id {
+		fn(c)
+		return
+	}
+	if target < 0 || target >= len(rt.workers) {
+		panic(fmt.Sprintf("core: Call target %d out of range", target))
+	}
+	tw := rt.workers[target]
+	sendDelay := rt.M.Fabric.MessageDelay(c.w.Core(), tw.Core(), c.w.clock.Now(), 64)
+	var done atomic.Bool
+	var finish atomic.Int64
+	g := &callGroup{done: &done, finish: &finish}
+	t := rt.newTask(fn, nil, c.w.clock.Now()+sendDelay, false, target)
+	t.pinned = true
+	t.grp = nil
+	t.onDone = g
+	tw.inbox.Put(t)
+	if c.co != nil {
+		// Coroutine: suspend between polls; the worker keeps scheduling.
+		for !done.Load() {
+			c.co.yield()
+		}
+	} else {
+		// Run-to-completion task: the worker itself blocks.
+		c.w.blocked.Store(true)
+		for !done.Load() {
+			yieldHost()
+		}
+		c.w.blocked.Store(false)
+	}
+	replyDelay := rt.M.Fabric.MessageDelay(tw.Core(), c.w.Core(), finish.Load(), 64)
+	c.w.clock.SyncTo(finish.Load() + replyDelay)
+	if p := g.pan.Load(); p != nil {
+		panic(fmt.Sprintf("core: remote call panic: %v\n\nremote stack:\n%s", p.val, p.stack))
+	}
+}
+
+// callGroup carries the completion signal of a synchronous Call.
+type callGroup struct {
+	done   *atomic.Bool
+	finish *atomic.Int64
+	pan    atomic.Pointer[taskPanic]
+}
+
+// Barrier blocks until all parties of b arrived; every party leaves at the
+// common (maximum) virtual time plus the barrier cost — the barrier()
+// primitive of the CHARM API. Use one task per worker (AllDo) to avoid
+// starving the barrier.
+func (c *Ctx) Barrier(b *RtBarrier) {
+	c.w.blocked.Store(true)
+	t := b.wait(c.Now())
+	c.w.blocked.Store(false)
+	c.w.clock.SyncTo(t)
+}
+
+// Fills returns the executing core's cumulative fills-from-system counter —
+// the per-task profiling view of §4.5.
+func (c *Ctx) Fills() int64 {
+	return c.w.rt.M.PMU.FillsFromSystem(int(c.w.Core()))
+}
+
+// Event reads an arbitrary PMU counter of the executing core.
+func (c *Ctx) Event(e pmu.Event) int64 {
+	return c.w.rt.M.PMU.Read(int(c.w.Core()), e)
+}

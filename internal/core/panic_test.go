@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// Failure injection: tasks that panic must not kill workers; the panic
+// propagates to the submitter with the task's stack attached, and the
+// runtime stays usable afterwards.
+
+func recoverMessage(t *testing.T, f func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg, _ = r.(string)
+			}
+		}()
+		f()
+	}()
+	if msg == "" {
+		t.Fatal("expected a propagated panic")
+	}
+	return msg
+}
+
+func TestTaskPanicPropagatesToSubmitter(t *testing.T) {
+	rt := newTestRT(t, 4)
+	msg := recoverMessage(t, func() {
+		rt.ParallelFor(0, 100, 10, func(ctx *Ctx, i0, i1 int) {
+			if i0 == 50 {
+				panic("injected fault")
+			}
+			ctx.Compute(10)
+		})
+	})
+	if !strings.Contains(msg, "injected fault") || !strings.Contains(msg, "task stack") {
+		t.Errorf("panic message lacks fault/stack: %q", msg)
+	}
+	// The runtime must remain usable.
+	var n atomic.Int64
+	rt.ParallelFor(0, 10, 1, func(ctx *Ctx, i0, i1 int) { n.Add(1) })
+	if n.Load() != 10 {
+		t.Errorf("post-panic submission ran %d of 10 tasks", n.Load())
+	}
+}
+
+func TestCoroutinePanicPropagates(t *testing.T) {
+	rt := newTestRT(t, 2)
+	msg := recoverMessage(t, func() {
+		rt.submitWait([]func(*Ctx){func(ctx *Ctx) {
+			ctx.Yield()
+			panic("coroutine fault")
+		}}, false, true)
+	})
+	if !strings.Contains(msg, "coroutine fault") {
+		t.Errorf("wrong panic: %q", msg)
+	}
+	rt.Run(func(ctx *Ctx) { ctx.Compute(1) })
+}
+
+func TestRemoteCallPanicPropagates(t *testing.T) {
+	rt := newTestRT(t, 4)
+	msg := recoverMessage(t, func() {
+		rt.Run(func(ctx *Ctx) {
+			ctx.Call(2, func(*Ctx) { panic("remote fault") })
+		})
+	})
+	if !strings.Contains(msg, "remote fault") {
+		t.Errorf("wrong panic: %q", msg)
+	}
+}
+
+func TestFirstPanicWins(t *testing.T) {
+	rt := newTestRT(t, 4)
+	msg := recoverMessage(t, func() {
+		rt.ParallelFor(0, 40, 1, func(ctx *Ctx, i0, i1 int) {
+			panic("fault")
+		})
+	})
+	// Exactly one panic surfaces even though many tasks failed.
+	if strings.Count(msg, "task stack") != 1 {
+		t.Errorf("expected one propagated stack, got: %q", msg)
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"charm/internal/topology"
+)
+
+// Policy abstracts the placement and adaptation strategy of a runtime. The
+// CHARM policy implements the paper's Algorithms 1 and 2; the baseline
+// runtimes (RING, SHOAL, AsymSched, SAM) provide their own implementations
+// in internal/baselines.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// InitialCore maps worker w of n total to its starting core.
+	InitialCore(worker, workers int, t *topology.Topology) topology.CoreID
+	// OnTimer runs the periodic per-worker decision; elapsed is the
+	// virtual time since the last decision (Alg. 1's entry state).
+	OnTimer(w *Worker, elapsed int64)
+	// StealOrder returns victim worker IDs in preference order.
+	StealOrder(w *Worker) []int
+	// AssignWorker maps task index i of a submission to a worker. phase
+	// increments per submission. CHARM preserves the task-to-worker
+	// mapping across phases (§4.1), keeping each task's data in the same
+	// chiplet's L3 between iterations; topology-oblivious runtimes
+	// redistribute every phase, churning cache contents.
+	AssignWorker(i int, phase uint64, workers int) int
+}
+
+// StableAssign preserves task-to-worker affinity across phases.
+func StableAssign(i int, phase uint64, workers int) int { return i % workers }
+
+// ChurnAssign rotates the task-to-worker mapping every phase, modeling
+// schedulers with no task-identity affinity.
+func ChurnAssign(i int, phase uint64, workers int) int {
+	return (i + int(phase*7)) % workers
+}
+
+// CharmPolicy is the paper's chiplet scheduling policy: decentralized
+// spread-rate adaptation (Alg. 1) enacted through the collision-free
+// location update (Alg. 2), socket-aware placement, and chiplet-first
+// stealing.
+type CharmPolicy struct {
+	// ObliviousSteal replaces chiplet-first stealing with worker-ID ring
+	// order (the steal-order ablation of DESIGN.md).
+	ObliviousSteal bool
+}
+
+// NewCharmPolicy returns the CHARM policy.
+func NewCharmPolicy() *CharmPolicy { return &CharmPolicy{} }
+
+// Name implements Policy.
+func (p *CharmPolicy) Name() string { return "charm" }
+
+// InitialCore fills sockets densely in worker order (§4.6: use all cores
+// and chiplets within one socket before the next), which preserves the
+// initial task-to-worker-to-core mapping until profiling detects
+// inefficiency.
+func (p *CharmPolicy) InitialCore(worker, workers int, t *topology.Topology) topology.CoreID {
+	return topology.CoreID(worker % t.NumCores())
+}
+
+// OnTimer is Algorithm 1 (ChipletScheduling). The caller guarantees
+// elapsed >= SCHEDULER_TIMER. The counter is the per-core
+// fills-from-system delta; the rate normalizes it to one timer interval.
+func (p *CharmPolicy) OnTimer(w *Worker, elapsed int64) {
+	opts := w.rt.opts
+	counter := w.FillsSinceDecision()
+	rate := counter * opts.SchedulerTimer / elapsed
+	chiplets := w.rt.M.Topo.ChipletsPerNode * w.rt.M.Topo.NodesPerSocket
+	switch {
+	case rate >= opts.RemoteFillThreshold:
+		w.lowStreak = 0
+		if w.spreadRate < chiplets {
+			w.spreadRate++
+		}
+	case rate < opts.RemoteFillThreshold/opts.Hysteresis:
+		// Consolidation is debounced: one borderline-quiet interval is
+		// not evidence of a smaller working set, and every enacted
+		// flip-flop costs a migration plus cold refills.
+		w.lowStreak++
+		if w.lowStreak >= 2 && w.spreadRate > 1 {
+			w.spreadRate--
+			w.lowStreak = 0
+		}
+	default:
+		w.lowStreak = 0
+	}
+	UpdateLocation(w)
+	w.rt.prof.Record(ProfSpread, w.id, w.clock.Now(), int64(w.spreadRate))
+	w.rt.prof.Record(ProfFillRate, w.id, w.clock.Now(), rate)
+}
+
+// StealOrder implements chiplet-first stealing (§4.4): victims on the same
+// chiplet first, then increasing topological distance.
+func (p *CharmPolicy) StealOrder(w *Worker) []int {
+	if p.ObliviousSteal {
+		return w.sequentialOrder()
+	}
+	return w.chipletFirstOrder()
+}
+
+// AssignWorker implements Policy: CHARM preserves the initial
+// task-to-worker-to-core mapping (§4.1).
+func (p *CharmPolicy) AssignWorker(i int, phase uint64, workers int) int {
+	return StableAssign(i, phase, workers)
+}
+
+// UpdateLocation is Algorithm 2: translate the worker's spread_rate into a
+// deterministic, collision-free (chiplet, slot) assignment, then enact it
+// as core affinity plus a NUMA memory binding.
+//
+// Deviation from the paper's pseudo-code: the published wrap-around term
+// slot += floor(id / CORES_PER_CHIPLET) produces colliding slots for some
+// (workers, spread) combinations (e.g. 64 workers, spread 2). We use the
+// algebraically collision-free equivalent slot += lap * div with
+// lap = floor(id / (CHIPLETS * div)), which matches the paper's term in all
+// the configurations its evaluation exercises and is a bijection over a
+// socket in general (see DESIGN.md).
+func UpdateLocation(w *Worker) {
+	topo := w.rt.M.Topo
+	cpc := topo.CoresPerChiplet
+	chiplets := topo.ChipletsPerNode * topo.NodesPerSocket // per socket
+	coresPerSocket := topo.CoresPerSocket()
+
+	// Socket-aware split: workers fill socket 0 before socket 1 (§4.6).
+	socket := w.id / coresPerSocket
+	if socket >= topo.Sockets {
+		socket = topo.Sockets - 1
+	}
+	localID := w.id - socket*coresPerSocket
+	workersInSocket := w.rt.Workers() - socket*coresPerSocket
+	if workersInSocket > coresPerSocket {
+		workersInSocket = coresPerSocket
+	}
+
+	spread := w.spreadRate
+	// Bounds check (Alg. 2 line 2): spread must address physical chiplets
+	// and leave a dedicated core per worker.
+	if spread < 1 || spread > chiplets || workersInSocket > spread*cpc {
+		return
+	}
+
+	div := cpc / spread // consecutive workers sharing a chiplet
+	if div < 1 {
+		div = 1
+	}
+	chiplet := localID / div
+	slot := localID % div
+	if chiplet >= chiplets {
+		lap := localID / (chiplets * div)
+		chiplet %= chiplets
+		slot += lap * div
+	}
+	if slot >= cpc {
+		// Unreachable for valid inputs; guard against misconfiguration.
+		panic(fmt.Sprintf("core: UpdateLocation slot overflow (worker %d spread %d)", w.id, spread))
+	}
+	core := topology.CoreID(socket*coresPerSocket + chiplet*cpc + slot)
+	w.Migrate(core)
+}
+
+// StaticMode selects a fixed placement for StaticPolicy.
+type StaticMode uint8
+
+const (
+	// Compact fills chiplets densely in worker order (LocalCache in §2.3
+	// and §5.7: fewest chiplets, maximum locality).
+	Compact StaticMode = iota
+	// SpreadChiplets round-robins workers across the chiplets of socket 0
+	// first, then socket 1 (DistributedCache: maximum aggregate L3).
+	SpreadChiplets
+	// SpreadSockets round-robins workers across NUMA nodes first (the
+	// classic NUMA-balancing placement of RING/SAM-style runtimes).
+	SpreadSockets
+)
+
+// StaticPolicy places workers once and never adapts. Churn selects
+// phase-rotating task assignment (modeling schedulers without task
+// affinity, e.g. a default DB thread pool).
+type StaticPolicy struct {
+	mode  StaticMode
+	name  string
+	Churn bool
+}
+
+// NewStaticPolicy builds a static policy.
+func NewStaticPolicy(mode StaticMode) *StaticPolicy {
+	names := map[StaticMode]string{
+		Compact: "static-compact", SpreadChiplets: "static-spread-chiplets",
+		SpreadSockets: "static-spread-sockets",
+	}
+	return &StaticPolicy{mode: mode, name: names[mode]}
+}
+
+// Name implements Policy.
+func (p *StaticPolicy) Name() string { return p.name }
+
+// InitialCore implements Policy.
+func (p *StaticPolicy) InitialCore(worker, workers int, t *topology.Topology) topology.CoreID {
+	switch p.mode {
+	case Compact:
+		return topology.CoreID(worker % t.NumCores())
+	case SpreadChiplets:
+		// Socket-fill, but stride chiplets within the socket.
+		cps := t.CoresPerSocket()
+		socket := worker / cps
+		if socket >= t.Sockets {
+			socket = t.Sockets - 1
+		}
+		local := worker - socket*cps
+		chipletsPerSocket := t.NodesPerSocket * t.ChipletsPerNode
+		ch := local % chipletsPerSocket
+		slot := local / chipletsPerSocket
+		return topology.CoreID(socket*cps + ch*t.CoresPerChiplet + slot%t.CoresPerChiplet)
+	case SpreadSockets:
+		// Round-robin across NUMA nodes; dense within each node.
+		nodes := t.NumNodes()
+		node := worker % nodes
+		slot := worker / nodes
+		return topology.CoreID(node*t.CoresPerNode() + slot%t.CoresPerNode())
+	default:
+		panic(fmt.Sprintf("core: unknown static mode %d", p.mode))
+	}
+}
+
+// OnTimer implements Policy (no adaptation).
+func (p *StaticPolicy) OnTimer(w *Worker, elapsed int64) {}
+
+// StealOrder implements Policy: compact placement steals chiplet-first;
+// spread placements steal in worker-ID order (topology-oblivious).
+func (p *StaticPolicy) StealOrder(w *Worker) []int {
+	if p.mode == Compact {
+		return w.chipletFirstOrder()
+	}
+	return w.sequentialOrder()
+}
+
+// AssignWorker implements Policy.
+func (p *StaticPolicy) AssignWorker(i int, phase uint64, workers int) int {
+	if p.Churn {
+		return ChurnAssign(i, phase, workers)
+	}
+	return StableAssign(i, phase, workers)
+}

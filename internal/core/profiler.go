@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// ProfSeries identifies a profiler time series.
+type ProfSeries uint8
+
+const (
+	// ProfSpread records a worker's spread_rate after each decision.
+	ProfSpread ProfSeries = iota
+	// ProfFillRate records the Alg. 1 normalized fill rate per decision.
+	ProfFillRate
+	// ProfConcurrency records sampled live-task counts (Fig. 12).
+	ProfConcurrency
+	// ProfMigration records core re-assignments (value = new core).
+	ProfMigration
+
+	numProfSeries
+)
+
+// ProfSample is one (virtual time, value) observation of a worker.
+type ProfSample struct {
+	Worker int
+	T      int64
+	V      int64
+}
+
+// Profiler records low-overhead time series for post-run analysis — the
+// performance profiler component ① of the CHARM architecture. Disabled by
+// default; recording costs one mutex acquisition per decision interval,
+// which is far off the access fast path.
+type Profiler struct {
+	mu      sync.Mutex
+	enabled bool
+	series  [numProfSeries][]ProfSample
+}
+
+// NewProfiler returns a disabled profiler.
+func NewProfiler() *Profiler { return &Profiler{} }
+
+// Enable turns recording on or off and clears recorded data when enabling.
+func (p *Profiler) Enable(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.enabled = on
+	if on {
+		for i := range p.series {
+			p.series[i] = nil
+		}
+	}
+}
+
+// Record appends one observation if the profiler is enabled.
+func (p *Profiler) Record(s ProfSeries, worker int, t, v int64) {
+	p.mu.Lock()
+	if p.enabled {
+		p.series[s] = append(p.series[s], ProfSample{Worker: worker, T: t, V: v})
+	}
+	p.mu.Unlock()
+}
+
+// Samples returns a copy of the recorded series sorted by time.
+func (p *Profiler) Samples(s ProfSeries) []ProfSample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ProfSample, len(p.series[s]))
+	copy(out, p.series[s])
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// MeanValue returns the mean of a series' values, or 0 when empty.
+func (p *Profiler) MeanValue(s ProfSeries) float64 {
+	samples := p.Samples(s)
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, x := range samples {
+		sum += x.V
+	}
+	return float64(sum) / float64(len(samples))
+}

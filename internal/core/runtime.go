@@ -1,0 +1,466 @@
+// Package core implements the CHARM runtime (§4 of the paper): worker
+// threads pinned to simulated cores, per-core lock-free task deques with
+// chiplet-first work stealing, coroutine-based fine-grained parallelism,
+// the decentralized chiplet scheduling policy (Alg. 1) with its
+// collision-free location update (Alg. 2), and the performance profiler
+// the adaptive controller feeds on.
+//
+// Baseline runtimes (RING, SHOAL, AsymSched, SAM, std::async) reuse this
+// engine through the Policy interface: they differ in placement, stealing
+// order, adaptation, and task-switch costs, exactly the axes the paper
+// evaluates.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"charm/internal/mem"
+	"charm/internal/pmu"
+	"charm/internal/sim"
+	"charm/internal/topology"
+	"charm/internal/vtime"
+)
+
+// Default tuning constants; see §4.6 of the paper. The virtual-time
+// defaults are calibrated for the simulator's scaled workloads — the paper
+// uses 500 ms wall-clock on full-size inputs; DESIGN.md discusses the
+// scaling relation.
+const (
+	// DefaultSchedulerTimer is the Alg. 1 decision interval in virtual ns.
+	DefaultSchedulerTimer = 500_000 // 500 µs virtual
+	// DefaultBarrierCost is the virtual cost of one barrier release.
+	DefaultBarrierCost = 500
+)
+
+// TaskOverheads models the concurrency substrate a runtime uses for tasks.
+// CHARM uses user-level coroutines; the std::async baseline uses OS threads.
+type TaskOverheads struct {
+	// Spawn is charged when a task is created.
+	Spawn int64
+	// Switch is charged on every suspend/resume pair.
+	Switch int64
+}
+
+// Options configure a Runtime.
+type Options struct {
+	// Workers is the number of worker threads; the engine dedicates one
+	// simulated core per worker (§4.6). Required, must be positive and at
+	// most the machine's core count unless Oversubscribe is set.
+	Workers int
+	// Policy selects placement/scheduling; nil selects NewCharmPolicy().
+	Policy Policy
+	// SchedulerTimer and RemoteFillThreshold parameterize Alg. 1;
+	// zero selects the defaults.
+	SchedulerTimer      int64
+	RemoteFillThreshold int64
+	// Hysteresis divides the threshold for the consolidation decision:
+	// spread_rate decrements only when the rate falls below
+	// threshold/Hysteresis, which keeps workers whose rate sits near the
+	// threshold from flip-flopping (each flip is a migration). 1
+	// reproduces Alg. 1 literally; 0 selects the default of 4.
+	Hysteresis int64
+	// Overheads selects the task substrate costs; zero values select the
+	// topology's coroutine costs.
+	Overheads TaskOverheads
+	// BarrierCost is the virtual cost of one barrier release (0=default).
+	BarrierCost int64
+	// Oversubscribe permits more workers than cores (used by the
+	// std::async baseline to model thread floods).
+	Oversubscribe bool
+	// UseSMT permits up to SMTWays workers per physical core (hardware
+	// threads). CHARM itself never co-schedules hyperthread siblings
+	// (§4.6); this knob exists for baselines and ablations.
+	UseSMT bool
+	// ThrottleWindow bounds how far (in virtual ns) a worker's clock may
+	// run ahead of the slowest unblocked worker before it pauses to let
+	// virtual laggards take work. It caps the virtual-time skew
+	// introduced by host scheduling; 0 selects the default (20 µs).
+	ThrottleWindow int64
+	// IdleQuantum is the virtual time an idle worker drifts forward per
+	// fruitless steal round (0 = default 2 µs).
+	IdleQuantum int64
+}
+
+// Stats summarizes one phase or run.
+type Stats struct {
+	// Makespan is the virtual time at which the last task of the run
+	// finished, relative to the run's start.
+	Makespan int64
+	// Tasks is the number of tasks executed.
+	Tasks int64
+	// Steals counts successful steals; RemoteSteals those that crossed a
+	// chiplet boundary.
+	Steals       int64
+	RemoteSteals int64
+	// Migrations counts Alg. 2 enactments.
+	Migrations int64
+}
+
+// Runtime executes tasks on a simulated machine.
+type Runtime struct {
+	M    *sim.Machine
+	opts Options
+
+	workers []*Worker
+	// workerOnCore[c] holds the worker ID currently pinned to core c,
+	// or -1. Multiple workers can transiently share a core while their
+	// spread rates diverge; coreOcc tracks the multiplicity.
+	workerOnCore []atomic.Int32
+	coreOcc      []atomic.Int32
+
+	// coresByDistance[c] lists all cores ordered by latency class from c;
+	// precomputed for steal-victim ordering.
+	coresByDistance [][]topology.CoreID
+
+	phase      atomic.Int64 // virtual start time of the next submission
+	placeEpoch atomic.Int64 // bumped on every placement change
+	stop       atomic.Bool
+	started    bool
+	wg         sync.WaitGroup
+
+	taskSeq  atomic.Uint64
+	phaseSeq atomic.Uint64
+
+	// liveTasks tracks currently executing or suspended tasks; the
+	// profiler samples it for the Fig. 12 concurrency trace.
+	liveTasks atomic.Int64
+
+	prof *Profiler
+}
+
+// NewRuntime builds a runtime on machine m. It panics on invalid options
+// (a configuration programming error).
+func NewRuntime(m *sim.Machine, opts Options) *Runtime {
+	if opts.Workers <= 0 {
+		panic(fmt.Sprintf("core: Workers must be positive, got %d", opts.Workers))
+	}
+	if !opts.Oversubscribe {
+		limit := m.Topo.NumCores()
+		unit := "cores"
+		if opts.UseSMT {
+			limit = m.Topo.NumThreads()
+			unit = "hardware threads"
+		}
+		if opts.Workers > limit {
+			panic(fmt.Sprintf("core: %d workers exceed %d %s", opts.Workers, limit, unit))
+		}
+	}
+	if opts.Policy == nil {
+		opts.Policy = NewCharmPolicy()
+	}
+	if opts.SchedulerTimer <= 0 {
+		opts.SchedulerTimer = DefaultSchedulerTimer
+	}
+	if opts.RemoteFillThreshold <= 0 {
+		// One fill-from-system per 500 ns marks a worker as
+		// remote-traffic bound: comfortably above the residual rate of a
+		// cache-resident worker (~0) and below a DRAM-bound worker's
+		// (one per ~105-200 ns). Expressed per timer interval, matching
+		// Alg. 1's RMT_CHIP_ACCESS_RATE semantics; the paper's absolute
+		// constant (300 per 500 ms) is specific to its hardware PMU.
+		opts.RemoteFillThreshold = opts.SchedulerTimer / 500
+		if opts.RemoteFillThreshold < 1 {
+			opts.RemoteFillThreshold = 1
+		}
+	}
+	if opts.Hysteresis <= 0 {
+		opts.Hysteresis = 4
+	}
+	if opts.Overheads.Switch == 0 {
+		opts.Overheads.Switch = m.Topo.Cost.CoroutineSwitch
+	}
+	if opts.BarrierCost <= 0 {
+		// Barrier release wakes every party: the cost grows with the
+		// worker count, which is what erodes fine-grained parallel
+		// regions at high core counts (§5.4's fragmentation effect).
+		opts.BarrierCost = DefaultBarrierCost + 20*int64(opts.Workers)
+	}
+	if opts.ThrottleWindow <= 0 {
+		opts.ThrottleWindow = 5_000
+	}
+	if opts.IdleQuantum <= 0 {
+		opts.IdleQuantum = 2_000
+	}
+
+	rt := &Runtime{
+		M:               m,
+		opts:            opts,
+		workerOnCore:    make([]atomic.Int32, m.Topo.NumCores()),
+		coreOcc:         make([]atomic.Int32, m.Topo.NumCores()),
+		coresByDistance: rankCores(m.Topo),
+		prof:            NewProfiler(),
+	}
+	for i := range rt.workerOnCore {
+		rt.workerOnCore[i].Store(-1)
+	}
+	rt.workers = make([]*Worker, opts.Workers)
+	for i := range rt.workers {
+		rt.workers[i] = newWorker(rt, i)
+	}
+	for _, w := range rt.workers {
+		core := opts.Policy.InitialCore(w.id, opts.Workers, m.Topo)
+		w.placeOn(core)
+	}
+	return rt
+}
+
+// rankCores precomputes, for every core, all machine cores sorted by
+// topological distance (stable within a class by core number).
+func rankCores(t *topology.Topology) [][]topology.CoreID {
+	n := t.NumCores()
+	out := make([][]topology.CoreID, n)
+	for c := 0; c < n; c++ {
+		order := make([]topology.CoreID, 0, n)
+		for class := topology.IntraChiplet; class <= topology.InterSocket; class++ {
+			for o := 0; o < n; o++ {
+				if o != c && t.ClassOf(topology.CoreID(c), topology.CoreID(o)) == class {
+					order = append(order, topology.CoreID(o))
+				}
+			}
+		}
+		out[c] = order
+	}
+	return out
+}
+
+// Start launches the worker goroutines. It must be called once before any
+// submission.
+func (rt *Runtime) Start() {
+	if rt.started {
+		panic("core: Start called twice")
+	}
+	rt.started = true
+	for _, w := range rt.workers {
+		rt.wg.Add(1)
+		go w.loop()
+	}
+}
+
+// Stop terminates the workers. Pending tasks are abandoned; call only when
+// the last submission has completed.
+func (rt *Runtime) Stop() {
+	rt.stop.Store(true)
+	rt.wg.Wait()
+}
+
+// Workers returns the number of workers.
+func (rt *Runtime) Workers() int { return len(rt.workers) }
+
+// Worker returns worker i (for policies and tests).
+func (rt *Runtime) Worker(i int) *Worker { return rt.workers[i] }
+
+// Options returns the runtime's options.
+func (rt *Runtime) Options() Options { return rt.opts }
+
+// Profiler returns the runtime's time-series profiler.
+func (rt *Runtime) Profiler() *Profiler { return rt.prof }
+
+// Now returns the current phase clock: the virtual time up to which all
+// submitted phases have completed.
+func (rt *Runtime) Now() int64 { return rt.phase.Load() }
+
+// MaxWorkerClock returns the maximum clock over all workers.
+func (rt *Runtime) MaxWorkerClock() int64 {
+	var m int64
+	for _, w := range rt.workers {
+		if t := w.clock.Now(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// minUnblockedClock returns the minimum clock over workers not blocked in a
+// barrier or synchronous call, or MaxInt64 when all are blocked.
+func (rt *Runtime) minUnblockedClock() int64 {
+	min := int64(1<<63 - 1)
+	for _, w := range rt.workers {
+		if w.blocked.Load() {
+			continue
+		}
+		if t := w.clock.Now(); t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// group tracks the outstanding tasks of one submission.
+type group struct {
+	pending atomic.Int64
+	bar     vtime.Barrier
+	done    chan struct{}
+	// panicked holds the first task panic of the group (nil when clean);
+	// submitWait re-panics it on the submitter so a failing task behaves
+	// like a failing function call instead of killing a worker.
+	panicked atomic.Pointer[taskPanic]
+}
+
+// taskPanic captures a recovered task panic with its stack.
+type taskPanic struct {
+	val   any
+	stack []byte
+}
+
+func newGroup() *group {
+	return &group{done: make(chan struct{})}
+}
+
+func (g *group) add(n int64) { g.pending.Add(n) }
+
+func (g *group) taskDone(t int64) {
+	g.bar.Enter(t)
+	if g.pending.Add(-1) == 0 {
+		close(g.done)
+	}
+}
+
+func (g *group) fail(p *taskPanic) {
+	g.panicked.CompareAndSwap(nil, p)
+}
+
+// Task is one schedulable unit of work.
+type Task struct {
+	id    uint64
+	fn    func(*Ctx)
+	grp   *group
+	stamp int64 // virtual time before which the task cannot start
+	coro  bool  // run as a suspendable coroutine
+	co    *coroutine
+	// pinned prevents stealing-based migration (used by AllDo).
+	pinned bool
+	home   int // worker the task was submitted to
+	// onDone signals a synchronous Call's completion (nil otherwise).
+	onDone *callGroup
+}
+
+func (rt *Runtime) newTask(fn func(*Ctx), g *group, stamp int64, coro bool, home int) *Task {
+	return &Task{
+		id:    rt.taskSeq.Add(1),
+		fn:    fn,
+		grp:   g,
+		stamp: stamp,
+		coro:  coro,
+		home:  home,
+	}
+}
+
+// Run executes fn as a single root task on worker 0 and waits for it and
+// every task it spawned (transitively) to finish. It returns the phase
+// statistics.
+func (rt *Runtime) Run(fn func(*Ctx)) Stats {
+	return rt.submitWait([]func(*Ctx){fn}, false, false)
+}
+
+// AllDo runs fn once per worker, pinned (not stealable), and waits for all
+// instances — the all_do() primitive of the CHARM API. Tasks may call
+// ctx.Barrier to phase-synchronize.
+func (rt *Runtime) AllDo(fn func(*Ctx)) Stats {
+	fns := make([]func(*Ctx), len(rt.workers))
+	for i := range fns {
+		fns[i] = fn
+	}
+	return rt.submitWait(fns, true, false)
+}
+
+// AllDoCo is AllDo with coroutine tasks (suspendable via ctx.Yield).
+func (rt *Runtime) AllDoCo(fn func(*Ctx)) Stats {
+	fns := make([]func(*Ctx), len(rt.workers))
+	for i := range fns {
+		fns[i] = fn
+	}
+	return rt.submitWait(fns, true, true)
+}
+
+// ParallelFor splits [lo, hi) into chunks of at most grain iterations and
+// executes body(ctx, i0, i1) over them, distributing chunks round-robin and
+// letting work stealing balance the rest. It waits for completion.
+func (rt *Runtime) ParallelFor(lo, hi, grain int, body func(ctx *Ctx, i0, i1 int)) Stats {
+	if grain <= 0 {
+		grain = 1
+	}
+	var fns []func(*Ctx)
+	for s := lo; s < hi; s += grain {
+		e := s + grain
+		if e > hi {
+			e = hi
+		}
+		s, e := s, e
+		fns = append(fns, func(ctx *Ctx) { body(ctx, s, e) })
+	}
+	if len(fns) == 0 {
+		return Stats{}
+	}
+	return rt.submitWait(fns, false, false)
+}
+
+// submitWait distributes one task per fns entry (round-robin over workers;
+// pinned tasks go to their same-index worker), waits for the group, and
+// advances the phase clock.
+func (rt *Runtime) submitWait(fns []func(*Ctx), pinned, coro bool) Stats {
+	if !rt.started {
+		panic("core: runtime not started")
+	}
+	start := rt.phase.Load()
+	seq := rt.phaseSeq.Add(1)
+	g := newGroup()
+	g.add(int64(len(fns)))
+	s0 := rt.snapshotCounters()
+	for i, fn := range fns {
+		var wid int
+		if pinned {
+			// AllDo: instance i belongs to worker i by construction.
+			wid = i % len(rt.workers)
+		} else {
+			wid = rt.opts.Policy.AssignWorker(i, seq, len(rt.workers))
+		}
+		w := rt.workers[wid]
+		t := rt.newTask(fn, g, start, coro, w.id)
+		t.pinned = pinned
+		w.inbox.Put(t)
+	}
+	<-g.done
+	if p := g.panicked.Load(); p != nil {
+		// Propagate the first task panic to the submitter, carrying the
+		// original stack for diagnosis.
+		panic(fmt.Sprintf("core: task panic: %v\n\ntask stack:\n%s", p.val, p.stack))
+	}
+	end := g.bar.Release(rt.opts.BarrierCost)
+	rt.phase.Store(end)
+	s1 := rt.snapshotCounters()
+	return Stats{
+		Makespan:     end - start,
+		Tasks:        s1[0] - s0[0],
+		Steals:       s1[1] - s0[1],
+		RemoteSteals: s1[2] - s0[2],
+		Migrations:   s1[3] - s0[3],
+	}
+}
+
+func (rt *Runtime) snapshotCounters() [4]int64 {
+	p := rt.M.PMU
+	return [4]int64{
+		p.Total(pmu.TaskRun), p.Total(pmu.TaskSteal),
+		p.Total(pmu.StealRemoteChiplet), p.Total(pmu.Migration),
+	}
+}
+
+// Alloc reserves simulated memory bound to the given NUMA node.
+func (rt *Runtime) Alloc(size int64, node topology.NodeID) mem.Addr {
+	return rt.M.Space.AllocLocal(size, node)
+}
+
+// AllocPolicy reserves simulated memory under an explicit policy.
+func (rt *Runtime) AllocPolicy(size int64, p mem.Policy, node topology.NodeID) mem.Addr {
+	return rt.M.Space.Alloc(size, p, node)
+}
+
+// LiveTasks returns the number of currently executing or suspended tasks
+// (the "thread concurrency" the Fig. 12 trace samples).
+func (rt *Runtime) LiveTasks() int64 { return rt.liveTasks.Load() }
+
+// yieldHost cooperatively yields the host goroutine while polling.
+func yieldHost() { runtime.Gosched() }

@@ -1,0 +1,97 @@
+package core
+
+import "charm/internal/topology"
+
+// Steal-victim orderings. Orders depend on worker placement, so each worker
+// caches its computed order and invalidates it when any migration occurs
+// (tracked by the runtime's placement epoch). The cache is worker-private:
+// these functions (and the exported wrappers below) must only be called on
+// the worker's own goroutine, which is where Policy.StealOrder runs.
+
+type orderKind uint8
+
+const (
+	orderNone orderKind = iota
+	orderChipletFirst
+	orderSequential
+	orderNodeFirst
+)
+
+// chipletFirstOrder returns victims sorted by topological distance from the
+// worker's current core: same chiplet, then same quadrant, same node, and
+// finally across sockets (§4.4's stealing strategy).
+func (w *Worker) chipletFirstOrder() []int {
+	return w.cachedOrder(orderChipletFirst, func() []int {
+		rt := w.rt
+		out := make([]int, 0, len(rt.workers)-1)
+		for _, c := range rt.coresByDistance[w.Core()] {
+			if v := rt.workerOnCore[c].Load(); v >= 0 && int(v) != w.id {
+				out = append(out, int(v))
+			}
+		}
+		return out
+	})
+}
+
+// sequentialOrder returns victims in worker-ID ring order, ignoring the
+// topology (the placement-oblivious stealing of classic runtimes).
+func (w *Worker) sequentialOrder() []int {
+	return w.cachedOrder(orderSequential, func() []int {
+		n := len(w.rt.workers)
+		out := make([]int, 0, n-1)
+		for k := 1; k < n; k++ {
+			out = append(out, (w.id+k)%n)
+		}
+		return out
+	})
+}
+
+// nodeFirstOrder returns victims on the same NUMA node first (in ID order),
+// then the rest — NUMA-aware but chiplet-oblivious stealing (RING/SAM).
+func (w *Worker) nodeFirstOrder() []int {
+	return w.cachedOrder(orderNodeFirst, func() []int {
+		rt := w.rt
+		topo := rt.M.Topo
+		self := topo.NodeOfCore(w.Core())
+		var same, other []int
+		for _, v := range rt.workers {
+			if v.id == w.id {
+				continue
+			}
+			if topo.NodeOfCore(v.Core()) == self {
+				same = append(same, v.id)
+			} else {
+				other = append(other, v.id)
+			}
+		}
+		return append(same, other...)
+	})
+}
+
+// cachedOrder memoizes an order until the placement epoch changes.
+func (w *Worker) cachedOrder(kind orderKind, build func() []int) []int {
+	epoch := w.rt.placeEpoch.Load()
+	if w.soKind == kind && w.soEpoch == epoch && w.soCache != nil {
+		return w.soCache
+	}
+	w.soCache = build()
+	w.soKind = kind
+	w.soEpoch = epoch
+	return w.soCache
+}
+
+// SequentialStealOrder exposes worker-ID ring stealing for baseline
+// policies.
+func SequentialStealOrder(w *Worker) []int { return w.sequentialOrder() }
+
+// NodeFirstStealOrder exposes NUMA-node-first stealing for baseline
+// policies.
+func NodeFirstStealOrder(w *Worker) []int { return w.nodeFirstOrder() }
+
+// ChipletFirstStealOrder exposes chiplet-first stealing.
+func ChipletFirstStealOrder(w *Worker) []int { return w.chipletFirstOrder() }
+
+// CoreOfWorker reports which simulated core currently hosts worker id.
+func (rt *Runtime) CoreOfWorker(id int) topology.CoreID {
+	return rt.workers[id].Core()
+}

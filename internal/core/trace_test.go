@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	p := NewProfiler()
+	p.Enable(true)
+	p.Record(ProfSpread, 0, 1000, 2)
+	p.Record(ProfSpread, 1, 2000, 4)
+	p.Record(ProfFillRate, 0, 1500, 77)
+	p.Record(ProfMigration, 1, 2500, 9)
+	var buf bytes.Buffer
+	if err := p.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string           `json:"name"`
+			Phase string           `json:"ph"`
+			TS    float64          `json:"ts"`
+			TID   int              `json:"tid"`
+			Args  map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(doc.TraceEvents))
+	}
+	counters, instants := 0, 0
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "C":
+			counters++
+		case "i":
+			instants++
+			if e.Args["core"] != 9 {
+				t.Errorf("migration core = %d", e.Args["core"])
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Phase)
+		}
+	}
+	if counters != 3 || instants != 1 {
+		t.Errorf("counters=%d instants=%d, want 3/1", counters, instants)
+	}
+	// Timestamps are microseconds.
+	if doc.TraceEvents[0].TS != 1.0 {
+		t.Errorf("first ts = %f, want 1.0 µs", doc.TraceEvents[0].TS)
+	}
+}
+
+func TestProfilerDisabledRecordsNothing(t *testing.T) {
+	p := NewProfiler()
+	p.Record(ProfSpread, 0, 1, 1)
+	if got := p.Samples(ProfSpread); len(got) != 0 {
+		t.Errorf("disabled profiler recorded %d samples", len(got))
+	}
+	p.Enable(true)
+	p.Record(ProfSpread, 0, 1, 1)
+	p.Enable(false)
+	p.Record(ProfSpread, 0, 2, 2)
+	if got := p.Samples(ProfSpread); len(got) != 1 {
+		t.Errorf("samples = %d, want 1", len(got))
+	}
+	p.Enable(true) // re-enabling clears
+	if got := p.Samples(ProfSpread); len(got) != 0 {
+		t.Errorf("re-enable must clear, got %d", len(got))
+	}
+}
+
+func TestProfilerMeanValue(t *testing.T) {
+	p := NewProfiler()
+	p.Enable(true)
+	if p.MeanValue(ProfSpread) != 0 {
+		t.Error("empty mean must be 0")
+	}
+	p.Record(ProfSpread, 0, 1, 2)
+	p.Record(ProfSpread, 0, 2, 4)
+	if got := p.MeanValue(ProfSpread); got != 3 {
+		t.Errorf("mean = %f, want 3", got)
+	}
+}
+
+func TestStealOrderVariants(t *testing.T) {
+	rt := newTestRT(t, 8)
+	w := rt.Worker(0)
+
+	// The steal-order cache is worker-private: compute all three orders
+	// on worker 0's own goroutine, then assert on the host.
+	var seq, node, ch []int
+	rt.AllDo(func(ctx *Ctx) {
+		if ctx.Worker() != 0 {
+			return
+		}
+		seq = append([]int(nil), SequentialStealOrder(w)...)
+		node = append([]int(nil), NodeFirstStealOrder(w)...)
+		ch = append([]int(nil), ChipletFirstStealOrder(w)...)
+	})
+	if len(seq) != 7 {
+		t.Fatalf("sequential order has %d victims", len(seq))
+	}
+	for i, v := range seq {
+		if v != (0+i+1)%8 {
+			t.Errorf("sequential[%d] = %d", i, v)
+		}
+	}
+
+	if len(node) != 7 {
+		t.Fatalf("node-first order has %d victims", len(node))
+	}
+	topo := rt.M.Topo
+	self := topo.NodeOfCore(w.Core())
+	// All same-node victims must precede all remote-node victims.
+	seenRemote := false
+	for _, v := range node {
+		remote := topo.NodeOfCore(rt.CoreOfWorker(v)) != self
+		if seenRemote && !remote {
+			t.Fatalf("node-first order interleaves nodes: %v", node)
+		}
+		seenRemote = seenRemote || remote
+	}
+
+	if len(ch) != 7 {
+		t.Fatalf("chiplet-first order has %d victims", len(ch))
+	}
+	// Victims must be sorted by non-decreasing latency class.
+	prev := topo.ClassOf(w.Core(), rt.CoreOfWorker(ch[0]))
+	for _, v := range ch[1:] {
+		c := topo.ClassOf(w.Core(), rt.CoreOfWorker(v))
+		if c < prev {
+			t.Fatalf("chiplet-first order not distance-sorted: %v", ch)
+		}
+		prev = c
+	}
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"runtime/debug"
+	"sync/atomic"
+
+	"charm/internal/mem"
+	"charm/internal/pmu"
+	"charm/internal/task"
+	"charm/internal/topology"
+	"charm/internal/vtime"
+)
+
+// Worker is one runtime worker thread, dedicated to one simulated core
+// (§4.6: one physical core per worker to prevent contention). Each worker
+// owns a local task deque, an RPC/submission inbox, its virtual clock, and
+// the decentralized scheduling state of Alg. 1 (spread_rate, decision
+// timer, PMU snapshot).
+type Worker struct {
+	id int
+	rt *Runtime
+
+	core  atomic.Int32 // current simulated core
+	clock vtime.Clock
+	// blocked marks the worker as waiting on a barrier or synchronous
+	// call; blocked workers are excluded from the throttle gate's
+	// minimum so waiters cannot deadlock the fleet.
+	blocked atomic.Bool
+
+	deque *task.Deque[Task]
+	inbox *task.Inbox[Task]
+
+	// Alg. 1 state (worker-private).
+	spreadRate   int
+	lastDecision int64
+	lastFills    int64
+	// lowStreak counts consecutive below-watermark intervals; the policy
+	// consolidates only after two, debouncing borderline rates.
+	lowStreak int
+
+	// allocNode is the NUMA node new allocations bind to (set_mempolicy
+	// analog, updated by Alg. 2).
+	allocNode topology.NodeID
+	// ownAllocs records this worker's Ctx.Alloc regions so
+	// memory-migrating policies (AsymSched) can move them with the
+	// worker. Owner-goroutine access only.
+	ownAllocs []mem.Addr
+
+	// Steal-order cache, invalidated by the runtime's placement epoch.
+	soCache []int
+	soKind  orderKind
+	soEpoch int64
+
+	// lastThrottleOK caches the last virtual time the throttle gate
+	// passed, to keep fine-grained Yield points cheap.
+	lastThrottleOK int64
+	// lastSample is the last ProfConcurrency sample time (worker 0).
+	lastSample int64
+
+	// settleUntil suppresses scheduling decisions for a short period
+	// after a migration, so the cold-cache refill burst is not mistaken
+	// for workload-driven remote traffic (the oscillation damper behind
+	// §4.3's "only when significant inefficiency is detected").
+	settleUntil int64
+
+	rng uint64
+}
+
+func newWorker(rt *Runtime, id int) *Worker {
+	return &Worker{
+		id:         id,
+		rt:         rt,
+		deque:      task.NewDeque[Task](256),
+		inbox:      task.NewInbox[Task](),
+		spreadRate: 1,
+		rng:        uint64(id)*0x9E3779B97F4A7C15 + 1,
+	}
+}
+
+// ID returns the worker's unique ID (Alg. 2's unique_worker_ID).
+func (w *Worker) ID() int { return w.id }
+
+// Core returns the simulated core the worker currently runs on.
+func (w *Worker) Core() topology.CoreID { return topology.CoreID(w.core.Load()) }
+
+// Runtime returns the owning runtime.
+func (w *Worker) Runtime() *Runtime { return w.rt }
+
+// Clock returns the worker's virtual clock.
+func (w *Worker) Clock() *vtime.Clock { return &w.clock }
+
+// SpreadRate returns the worker's current Alg. 1 spread_rate.
+func (w *Worker) SpreadRate() int { return w.spreadRate }
+
+// SetSpreadRate overrides spread_rate (static policies and tests).
+func (w *Worker) SetSpreadRate(r int) { w.spreadRate = r }
+
+// AllocNode returns the worker's current memory-binding node.
+func (w *Worker) AllocNode() topology.NodeID { return w.allocNode }
+
+// placeOn pins the worker to core c, updating occupancy accounting and the
+// memory policy. Initial placement; does not charge migration costs.
+func (w *Worker) placeOn(c topology.CoreID) {
+	w.core.Store(int32(c))
+	w.rt.coreOcc[c].Add(1)
+	w.rt.workerOnCore[c].Store(int32(w.id))
+	w.allocNode = w.rt.M.Topo.NodeOfCore(c)
+	w.rt.placeEpoch.Add(1)
+}
+
+// Migrate moves the worker to core c at virtual time now, charging the
+// thread-switch cost and binding memory policy to c's NUMA node (the
+// set_thread_affinity + set_mempolicy pair of Alg. 2).
+func (w *Worker) Migrate(c topology.CoreID) {
+	old := topology.CoreID(w.core.Load())
+	if old == c {
+		return
+	}
+	w.rt.coreOcc[old].Add(-1)
+	w.rt.workerOnCore[old].CompareAndSwap(int32(w.id), -1)
+	w.core.Store(int32(c))
+	w.rt.coreOcc[c].Add(1)
+	w.rt.workerOnCore[c].Store(int32(w.id))
+	w.allocNode = w.rt.M.Topo.NodeOfCore(c)
+	w.clock.Advance(w.rt.M.Topo.Cost.ThreadSwitch)
+	w.rt.M.PMU.Add(int(c), pmu.Migration, 1)
+	w.rt.placeEpoch.Add(1)
+	w.settleUntil = w.clock.Now() + 2*w.rt.opts.SchedulerTimer
+	w.rt.prof.Record(ProfMigration, w.id, w.clock.Now(), int64(c))
+}
+
+// RebindAllocs moves the worker's own allocations to node (AsymSched's
+// memory migration), charging the copy time against the worker's clock at
+// the inter-socket transfer rate. It returns the bytes moved. Freed or
+// non-Bind regions are skipped.
+func (w *Worker) RebindAllocs(node topology.NodeID) int64 {
+	var moved int64
+	for _, a := range w.ownAllocs {
+		n, ok := w.rt.M.Space.TryRebind(a, node)
+		if ok {
+			moved += n
+		}
+	}
+	if moved > 0 {
+		bw := w.rt.M.Topo.Cost.SocketBandwidth
+		if bw > 0 {
+			w.clock.Advance(int64(float64(moved) / bw))
+		}
+	}
+	return moved
+}
+
+// FillsSinceDecision returns the fills-from-system delta since the last
+// Alg. 1 decision (getEventCounter + reset semantics are handled by
+// maybeTick).
+func (w *Worker) FillsSinceDecision() int64 {
+	return w.rt.M.PMU.FillsFromSystem(int(w.Core())) - w.lastFills
+}
+
+// loop is the worker's main scheduling loop.
+func (w *Worker) loop() {
+	defer w.rt.wg.Done()
+	idle := 0
+	for !w.rt.stop.Load() {
+		w.throttle()
+		if t := w.drainInbox(); t != nil {
+			w.execute(t)
+			idle = 0
+			continue
+		}
+		if t := w.deque.Pop(); t != nil {
+			w.execute(t)
+			idle = 0
+			continue
+		}
+		if t := w.steal(); t != nil {
+			w.execute(t)
+			idle = 0
+			continue
+		}
+		// Nothing runnable: drift the idle clock forward (capped at the
+		// global maximum) so this worker does not pin the throttle gate,
+		// and give the host scheduler room.
+		w.idleDrift()
+		idle++
+		if idle > 16 {
+			yieldHost()
+		}
+	}
+}
+
+// throttle pauses the worker while its virtual clock runs more than the
+// throttle window ahead of the slowest unblocked worker. This couples real
+// execution order to virtual time: a virtually-idle worker gets real time
+// to steal queued work before a fast host thread burns through it, keeping
+// the simulated makespan honest regardless of host scheduling.
+//
+// A passed check is cached for a quarter window of virtual time so that
+// fine-grained Yield points stay cheap.
+func (w *Worker) throttle() {
+	window := w.rt.opts.ThrottleWindow
+	now := w.clock.Now()
+	if now-w.lastThrottleOK < window/4 {
+		return
+	}
+	for !w.rt.stop.Load() {
+		min := w.rt.minUnblockedClock()
+		if now = w.clock.Now(); now <= min+window {
+			w.lastThrottleOK = now
+			return
+		}
+		yieldHost()
+	}
+}
+
+// idleDrift advances an idle worker's clock by the idle quantum, capped at
+// the fleet maximum, modeling time spent waiting for stealable work.
+func (w *Worker) idleDrift() {
+	t := w.clock.Now() + w.rt.opts.IdleQuantum
+	if gm := w.rt.MaxWorkerClock(); t > gm {
+		t = gm
+	}
+	w.clock.SyncTo(t)
+	// Keep the concurrency trace alive even when this worker has no
+	// tasks of its own.
+	if t-w.lastSample >= w.rt.opts.SchedulerTimer {
+		w.sampleConcurrency(t)
+	}
+}
+
+// sampleConcurrency records the fleet's live-task count at worker 0's
+// scheduler ticks — the Fig. 12 thread-concurrency trace, in virtual time.
+func (w *Worker) sampleConcurrency(now int64) {
+	if w.id != 0 {
+		return
+	}
+	w.lastSample = now
+	w.rt.prof.Record(ProfConcurrency, 0, now, w.rt.liveTasks.Load())
+}
+
+// drainInbox moves all but one inbox task to the deque and returns the
+// first for immediate execution.
+func (w *Worker) drainInbox() *Task {
+	first := w.inbox.Take()
+	if first == nil {
+		return nil
+	}
+	for {
+		t := w.inbox.Take()
+		if t == nil {
+			return first
+		}
+		w.deque.Push(t)
+	}
+}
+
+// steal probes victims in the policy's preference order: the paper's
+// strategy tries cores on the same chiplet before other chiplets (§4.4).
+func (w *Worker) steal() *Task {
+	self := w.Core()
+	for _, victim := range w.rt.opts.Policy.StealOrder(w) {
+		v := w.rt.workers[victim]
+		t := v.deque.Steal()
+		if t == nil {
+			continue
+		}
+		if t.pinned {
+			// Pinned tasks must run on their home worker; return it.
+			v.inbox.Put(t)
+			continue
+		}
+		topo := w.rt.M.Topo
+		vc := v.Core()
+		w.clock.Advance(topo.Cost.StealPenalty + topo.CASLatency(self, vc))
+		w.rt.M.PMU.Add(int(self), pmu.TaskSteal, 1)
+		if topo.ChipletOf(self) != topo.ChipletOf(vc) {
+			w.rt.M.PMU.Add(int(self), pmu.StealRemoteChiplet, 1)
+		}
+		return t
+	}
+	return nil
+}
+
+// execute runs one task to completion (or through its coroutine lifecycle).
+func (w *Worker) execute(t *Task) {
+	w.clock.SyncTo(t.stamp)
+	if t.pinned && t.home != w.id {
+		// Misrouted pinned task (should not happen): forward home.
+		w.rt.workers[t.home].inbox.Put(t)
+		return
+	}
+	if t.co == nil {
+		// Fresh task: charge the spawn cost and count it live until
+		// finishTask (suspended coroutines stay live, matching the
+		// thread-concurrency semantics of Fig. 12).
+		if w.rt.opts.Overheads.Spawn > 0 {
+			w.clock.Advance(w.rt.opts.Overheads.Spawn)
+		}
+		w.rt.liveTasks.Add(1)
+	}
+	if t.coro {
+		w.runCoroutine(t)
+	} else {
+		ctx := &Ctx{w: w, task: t}
+		runRecovered(t, func() { t.fn(ctx) })
+		w.finishTask(t)
+	}
+	w.maybeTick()
+}
+
+func (w *Worker) finishTask(t *Task) {
+	w.rt.M.PMU.Add(int(w.Core()), pmu.TaskRun, 1)
+	w.rt.liveTasks.Add(-1)
+	if t.grp != nil {
+		t.grp.taskDone(w.clock.Now())
+	}
+	if t.onDone != nil {
+		t.onDone.finish.Store(w.clock.Now())
+		t.onDone.done.Store(true)
+	}
+}
+
+// maybeTick runs the policy's periodic decision (Alg. 1's entry condition:
+// elapsed >= SCHEDULER_TIMER) at task boundaries and yield points.
+func (w *Worker) maybeTick() {
+	now := w.clock.Now()
+	if now-w.lastDecision < w.rt.opts.SchedulerTimer {
+		return
+	}
+	if now < w.settleUntil {
+		// Post-migration settle period: discard the refill burst.
+		w.lastDecision = now
+		w.lastFills = w.rt.M.PMU.FillsFromSystem(int(w.Core()))
+		return
+	}
+	w.sampleConcurrency(now)
+	w.rt.opts.Policy.OnTimer(w, now-w.lastDecision)
+	w.lastDecision = now
+	w.lastFills = w.rt.M.PMU.FillsFromSystem(int(w.Core()))
+}
+
+// runRecovered executes fn, converting a panic into a group/call failure
+// that the submitter re-raises (failure isolation: a crashing task must not
+// take the worker — and the whole runtime — down with it).
+func runRecovered(t *Task, fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p := &taskPanic{val: r, stack: debug.Stack()}
+			if t.grp != nil {
+				t.grp.fail(p)
+			}
+			if t.onDone != nil {
+				t.onDone.pan.Store(p)
+			}
+		}
+	}()
+	fn()
+}
+
+// nextRand is a xorshift64* PRNG for tie-breaking.
+func (w *Worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	w.rng = x
+	return x * 0x2545F4914F6CDD1D
+}

@@ -1,0 +1,83 @@
+// Package fabric models the on-package interconnect of a chiplet CPU
+// (AMD's Infinity Fabric, Intel's mesh/UPI): per-chiplet links to the I/O
+// die and inter-socket links, each with finite bandwidth. Latencies are
+// topological (see topology.CostModel); fabric adds the *queueing* delays
+// that appear when many chiplets move data concurrently.
+package fabric
+
+import (
+	"charm/internal/mem"
+	"charm/internal/topology"
+)
+
+// Fabric tracks bandwidth usage of every interconnect link.
+type Fabric struct {
+	topo *topology.Topology
+	// chipletLinks[ch] is the CCD<->I/O-die link of chiplet ch.
+	chipletLinks []*mem.TokenBucket
+	// socketLinks[s] is socket s's external (xGMI/UPI) link.
+	socketLinks []*mem.TokenBucket
+}
+
+// New builds the link buckets for a machine.
+func New(t *topology.Topology, windowNS int64) *Fabric {
+	f := &Fabric{topo: t}
+	f.chipletLinks = make([]*mem.TokenBucket, t.NumChiplets())
+	for i := range f.chipletLinks {
+		f.chipletLinks[i] = mem.NewTokenBucket(t.Cost.FabricBandwidth, windowNS)
+	}
+	f.socketLinks = make([]*mem.TokenBucket, t.Sockets)
+	for i := range f.socketLinks {
+		f.socketLinks[i] = mem.NewTokenBucket(t.Cost.SocketBandwidth, windowNS)
+	}
+	return f
+}
+
+// ChargeTransfer accounts a cache-to-cache transfer of bytes from chiplet
+// src to chiplet dst at time t and returns the queueing delay. Transfers
+// within one chiplet are free (they stay inside the CCX).
+func (f *Fabric) ChargeTransfer(src, dst topology.ChipletID, t, bytes int64) int64 {
+	if src == dst {
+		return 0
+	}
+	d := f.chipletLinks[src].Charge(t, bytes)
+	if d2 := f.chipletLinks[dst].Charge(t, bytes); d2 > d {
+		d = d2
+	}
+	ss := f.topo.SocketOfNode(f.topo.NodeOfChiplet(src))
+	ds := f.topo.SocketOfNode(f.topo.NodeOfChiplet(dst))
+	if ss != ds {
+		if d2 := f.socketLinks[ss].Charge(t, bytes); d2 > d {
+			d = d2
+		}
+		if d2 := f.socketLinks[ds].Charge(t, bytes); d2 > d {
+			d = d2
+		}
+	}
+	return d
+}
+
+// ChargeMemory accounts a DRAM transfer between chiplet ch and NUMA node n
+// (the path crosses ch's fabric link, and the socket link when n is remote).
+func (f *Fabric) ChargeMemory(ch topology.ChipletID, n topology.NodeID, t, bytes int64) int64 {
+	d := f.chipletLinks[ch].Charge(t, bytes)
+	cs := f.topo.SocketOfNode(f.topo.NodeOfChiplet(ch))
+	ns := f.topo.SocketOfNode(n)
+	if cs != ns {
+		if d2 := f.socketLinks[cs].Charge(t, bytes); d2 > d {
+			d = d2
+		}
+		if d2 := f.socketLinks[ns].Charge(t, bytes); d2 > d {
+			d = d2
+		}
+	}
+	return d
+}
+
+// MessageDelay returns the latency + queueing cost of an explicit message of
+// bytes from core src to core dst at time t (used by the RPC layer).
+func (f *Fabric) MessageDelay(src, dst topology.CoreID, t, bytes int64) int64 {
+	lat := f.topo.CASLatency(src, dst)
+	q := f.ChargeTransfer(f.topo.ChipletOf(src), f.topo.ChipletOf(dst), t, bytes)
+	return lat + q
+}

@@ -1,0 +1,184 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated machines. Each experiment returns a
+// Table whose rows correspond to the published plot's series; the
+// cmd/charm-bench binary prints them, the test suite asserts their shapes
+// (who wins, by roughly what factor, where crossovers fall), and
+// EXPERIMENTS.md records paper-vs-measured values.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"charm"
+	"charm/internal/topology"
+)
+
+// Options scale the experiments. The defaults run every experiment in
+// seconds on a laptop; Full selects paper-sized inputs (minutes to hours).
+type Options struct {
+	// CacheScale divides machine cache sizes; workloads shrink by the
+	// same factor so crossovers land in the same relative place.
+	CacheScale int64
+	// SampleShift samples cache lines (DESIGN.md §4.1).
+	SampleShift uint
+	// SchedulerTimer is the Alg. 1 interval in virtual ns.
+	SchedulerTimer int64
+	// GraphScale is log2 of the graph vertex count.
+	GraphScale int
+	// Runs repeats each measured cell and reports "mean±sd" (the paper
+	// averages 10 runs and scales Fig. 7/8 markers by variance).
+	// 0 or 1 measures once.
+	Runs int
+	// Full selects paper-sized inputs.
+	Full bool
+}
+
+// Defaults returns the scaled configuration used by tests and benches.
+func Defaults() Options {
+	return Options{
+		CacheScale:     256,
+		SampleShift:    2,
+		SchedulerTimer: 25_000,
+		GraphScale:     13,
+	}
+}
+
+// FullScale returns the paper-sized configuration.
+func FullScale() Options {
+	return Options{
+		CacheScale:     1,
+		SampleShift:    6,
+		SchedulerTimer: 500_000_000,
+		GraphScale:     24,
+		Full:           true,
+	}
+}
+
+// amd and intel build the testbed topologies under the option scaling.
+func (o Options) amd() *charm.Topology { return charm.AMDMilan() }
+
+func (o Options) intel() *charm.Topology { return charm.IntelSPR() }
+
+// topology4 returns the Milan machine in NPS4 mode (ablation target).
+func topology4() *charm.Topology { return topology.AMDMilanNPS4() }
+
+// runtimeOn is runtime with an explicit topology (ablations).
+func (o Options) runtimeOn(topo *charm.Topology, sys charm.System, workers int) *charm.Runtime {
+	return o.runtime(topo, sys, workers)
+}
+
+// runtime builds a runtime for a system on the selected machine.
+func (o Options) runtime(topo *charm.Topology, sys charm.System, workers int) *charm.Runtime {
+	rt, err := charm.Init(charm.Config{
+		Topology:       topo,
+		CacheScale:     o.CacheScale,
+		Workers:        workers,
+		System:         sys,
+		SampleShift:    o.SampleShift,
+		SchedulerTimer: o.SchedulerTimer,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	return rt
+}
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes records the paper's expected shape for EXPERIMENTS.md.
+	Notes string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "## %s — %s\n", t.ID, t.Title)
+	if t.Notes != "" {
+		fmt.Fprintf(w, "# expected shape: %s\n", t.Notes)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV renders the table as RFC-4180 CSV (header row first) for
+// plotting pipelines.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Cell lookup helpers used by tests.
+
+// Col returns the index of a header column, or -1.
+func (t *Table) Col(name string) int {
+	for i, h := range t.Header {
+		if h == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Find returns the first row whose first column equals key, or nil.
+func (t *Table) Find(key string) []string {
+	for _, r := range t.Rows {
+		if len(r) > 0 && r[0] == key {
+			return r
+		}
+	}
+	return nil
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func i64(v int64) string  { return fmt.Sprintf("%d", v) }
+
+// geomean returns the geometric mean of positive values.
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	p := 1.0
+	for _, v := range vs {
+		p *= v
+	}
+	return math.Pow(p, 1/float64(len(vs)))
+}

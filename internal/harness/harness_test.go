@@ -1,0 +1,350 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testOptions shrinks every experiment far enough for unit testing.
+func testOptions() Options {
+	o := Defaults()
+	o.GraphScale = 10
+	return o
+}
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTablePrintAndLookup(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "T", Header: []string{"a", "b"},
+		Rows:  [][]string{{"k1", "1"}, {"k2", "2"}},
+		Notes: "n",
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"## x — T", "k1", "k2", "expected shape"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if tab.Col("b") != 1 || tab.Col("zz") != -1 {
+		t.Error("Col lookup wrong")
+	}
+	if r := tab.Find("k2"); r == nil || r[1] != "2" {
+		t.Errorf("Find wrong: %v", r)
+	}
+	if tab.Find("nope") != nil {
+		t.Error("Find must return nil for missing keys")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	o := testOptions()
+	ids := o.IDs()
+	if len(ids) != 17 {
+		t.Errorf("expected 17 experiments, got %d: %v", len(ids), ids)
+	}
+	if _, err := o.Run("nope"); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tab := testOptions().Fig3()
+	within := tab.Find("within-numa")
+	if within == nil {
+		t.Fatal("missing within-numa row")
+	}
+	// The stepped distribution: p10 is intra-chiplet (25 ns), p100 within
+	// NUMA reaches the cross-CCX step (155 ns).
+	if parse(t, within[1]) != 25 {
+		t.Errorf("within-numa p10 = %s, want 25", within[1])
+	}
+	if parse(t, within[6]) != 155 {
+		t.Errorf("within-numa p100 = %s, want 155", within[6])
+	}
+	all := tab.Find("all-pairs")
+	if parse(t, all[6]) <= 155 {
+		t.Errorf("all-pairs max %s must exceed within-NUMA (cross-socket step)", all[6])
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tab := testOptions().Fig4()
+	first := parse(t, tab.Rows[0][4])
+	last := parse(t, tab.Rows[len(tab.Rows)-1][4])
+	if last <= first {
+		t.Errorf("cores/channel ratio must widen: %v -> %v", first, last)
+	}
+}
+
+func TestFig5Crossover(t *testing.T) {
+	tab := testOptions().Fig5()
+	col := tab.Col("dist speedup")
+	firstRatio := parse(t, tab.Rows[0][col])
+	if firstRatio >= 1 {
+		t.Errorf("smallest size: LocalCache must win, dist speedup = %.2f", firstRatio)
+	}
+	// Somewhere beyond one L3 slice DistributedCache must win.
+	best := 0.0
+	for _, r := range tab.Rows {
+		if v := parse(t, r[col]); v > best {
+			best = v
+		}
+	}
+	if best < 1.5 {
+		t.Errorf("DistributedCache peak speedup = %.2f, want > 1.5", best)
+	}
+}
+
+func TestFig14Insensitivity(t *testing.T) {
+	o := testOptions()
+	tab := o.Fig14()
+	col := tab.Col("ratio")
+	for _, r := range tab.Rows {
+		v := parse(t, r[col])
+		if v < 0.7 || v > 1.4 {
+			t.Errorf("OLTP %s@%s placement ratio %.2f outside [0.7,1.4]", r[0], r[1], v)
+		}
+	}
+}
+
+func TestSensitivityRuns(t *testing.T) {
+	tab := testOptions().Sensitivity()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if parse(t, r[1]) <= 0 {
+			t.Errorf("threshold %s: non-positive throughput", r[0])
+		}
+	}
+}
+
+// TestFig7CharmWinsAt64 runs a reduced Fig. 7 (one benchmark) and checks
+// the headline shape: CHARM beats the NUMA baselines at full-socket
+// occupancy.
+func TestFig7CharmWinsAt64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	o := testOptions()
+	o.GraphScale = 12
+	tab := o.Fig7()
+	col := tab.Col("64c")
+	if col < 0 {
+		t.Fatal("missing 64c column")
+	}
+	var charmV, bestBase float64
+	for _, r := range tab.Rows {
+		if r[0] != "bfs" {
+			continue
+		}
+		v := parse(t, r[col])
+		if r[1] == "charm" {
+			charmV = v
+		} else if v > bestBase {
+			bestBase = v
+		}
+	}
+	if charmV <= bestBase {
+		t.Errorf("BFS@64c: CHARM %.1f must beat best baseline %.1f", charmV, bestBase)
+	}
+}
+
+func TestTab1RemoteAccessGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	o := testOptions()
+	o.GraphScale = 12
+	tab := o.Tab1()
+	for _, r := range tab.Rows {
+		charmRemote := parse(t, r[1])
+		ringRemote := parse(t, r[2])
+		if charmRemote > ringRemote {
+			t.Errorf("%s: CHARM remote-NUMA accesses (%v) exceed RING's (%v)", r[0], charmRemote, ringRemote)
+		}
+	}
+}
+
+func TestFig13AllQueriesBenefit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	o := testOptions()
+	tab := o.Fig13()
+	col := tab.Col("speedup")
+	below := 0
+	for _, r := range tab.Rows {
+		if parse(t, r[col]) < 0.95 {
+			below++
+		}
+	}
+	if below > 3 {
+		t.Errorf("%d of 22 queries slowed down under CHARM", below)
+	}
+}
+
+func TestFig9CharmLeadsMidRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	o := testOptions()
+	tab := o.Fig9()
+	// CHARM should lead or tie SHOAL somewhere in the 8-32 core range.
+	lead := false
+	for _, r := range tab.Rows {
+		c := parse(t, r[0])
+		if c >= 8 && c <= 32 && parse(t, r[1]) >= parse(t, r[2]) {
+			lead = true
+		}
+	}
+	if !lead {
+		t.Error("CHARM never led SHOAL in the 8-32 core range")
+	}
+}
+
+func TestFig11CharmBeatsNatives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	o := testOptions()
+	tab := o.Fig11()
+	best := map[string]float64{}
+	for _, r := range tab.Rows {
+		v := parse(t, r[3])
+		if v > best[r[0]] {
+			best[r[0]] = v
+		}
+	}
+	if best["DW+CHARM"] <= best["DW-NUMA-node"] {
+		t.Errorf("DW+CHARM peak %.2f must beat DW-NUMA-node %.2f", best["DW+CHARM"], best["DW-NUMA-node"])
+	}
+	if best["DW+CHARM"] <= best["DW+CHARM+async"] {
+		t.Errorf("DW+CHARM peak %.2f must beat std::async %.2f", best["DW+CHARM"], best["DW+CHARM+async"])
+	}
+}
+
+func TestGranularityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	tab := testOptions().Granularity()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The middle of the sweep must beat both extremes for Q3.
+	first := parse(t, tab.Rows[0][1])
+	last := parse(t, tab.Rows[len(tab.Rows)-1][1])
+	best := 1e18
+	for _, r := range tab.Rows[1 : len(tab.Rows)-1] {
+		if v := parse(t, r[1]); v < best {
+			best = v
+		}
+	}
+	if best >= first || best >= last {
+		t.Errorf("no interior optimum: first=%.2f best=%.2f last=%.2f", first, best, last)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	tab := testOptions().Ablation()
+	get := func(name string, col int) float64 {
+		r := tab.Find(name)
+		if r == nil {
+			t.Fatalf("missing row %s", name)
+		}
+		return parse(t, r[col])
+	}
+	full := get("charm-full", 1)
+	if os := get("os-threads", 1); os >= full/2 {
+		t.Errorf("OS threads (%.1f) should trail coroutines (%.1f) by >2x on BFS", os, full)
+	}
+	if smt := get("smt-siblings", 1); smt >= get("static-compact", 1) {
+		t.Errorf("SMT sharing (%.1f) should trail dedicated cores (%.1f)", smt, get("static-compact", 1))
+	}
+	if noMLP := get("no-mlp", 2); noMLP >= get("charm-full", 2)/2 {
+		t.Errorf("serialized misses (%.2f GB/s) should trail MLP (%.2f) by >2x on SGD", noMLP, get("charm-full", 2))
+	}
+}
+
+func TestFig10StableSpeedups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	o := testOptions()
+	tab := o.Fig10()
+	ci := tab.Col("64c")
+	wins := 0
+	for _, r := range tab.Rows {
+		if r[ci] != "n/a" && parse(t, r[ci]) >= 1.0 {
+			wins++
+		}
+	}
+	if wins < len(tab.Rows)*2/3 {
+		t.Errorf("CHARM won only %d of %d size/benchmark cells at 64 cores", wins, len(tab.Rows))
+	}
+}
+
+func TestFig12Trace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	tab := testOptions().Fig12()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if parse(t, r[1]) <= 0 {
+			t.Errorf("%s: no samples collected", r[0])
+		}
+	}
+}
+
+func TestFig8IntelNarrowerThanAMD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	o := testOptions()
+	o.GraphScale = 11
+	amd := o.Fig7()
+	intel := o.Fig8()
+	ratio := func(tab *Table, col string) float64 {
+		ci := tab.Col(col)
+		var charmV, best float64
+		for _, r := range tab.Rows {
+			if r[0] != "bfs" {
+				continue
+			}
+			v := parse(t, r[ci])
+			if r[1] == "charm" {
+				charmV = v
+			} else if v > best {
+				best = v
+			}
+		}
+		return charmV / best
+	}
+	a := ratio(amd, "64c")
+	i := ratio(intel, "48c")
+	// §5.3: CHARM's advantage is architectural — it narrows on Intel's
+	// flatter mesh. Allow noise but the Intel edge must not exceed AMD's
+	// by much.
+	if i > a*1.25 {
+		t.Errorf("Intel advantage %.2f unexpectedly exceeds AMD's %.2f", i, a)
+	}
+}

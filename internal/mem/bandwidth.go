@@ -1,0 +1,100 @@
+package mem
+
+import (
+	"sync/atomic"
+
+	"charm/internal/topology"
+)
+
+// DefaultWindowNS is the default accounting window for bandwidth buckets.
+// 10 µs is fine enough to capture phase changes and coarse enough to keep
+// atomic contention negligible.
+const DefaultWindowNS = 10_000
+
+const numWindows = 64
+
+// bucketSlot is one accounting window. id identifies which absolute window
+// the slot currently represents; used is the byte count charged into it.
+type bucketSlot struct {
+	id   atomic.Int64
+	used atomic.Int64
+}
+
+// TokenBucket models the sustainable throughput of a shared resource
+// (a NUMA node's memory channels, a fabric link) over virtual time.
+// Charges within a window up to capacity are free; beyond it, callers
+// receive a queueing delay proportional to the oversubscription. Because
+// each caller's virtual clock then advances past the congested window, the
+// effective per-window throughput converges to the capacity — bandwidth
+// saturation emerges without a central arbiter.
+type TokenBucket struct {
+	windowNS int64
+	capacity int64 // bytes per window
+	slots    [numWindows]bucketSlot
+}
+
+// NewTokenBucket creates a bucket sustaining bytesPerNS over windows of
+// windowNS virtual nanoseconds. windowNS <= 0 selects DefaultWindowNS.
+func NewTokenBucket(bytesPerNS float64, windowNS int64) *TokenBucket {
+	if windowNS <= 0 {
+		windowNS = DefaultWindowNS
+	}
+	cap := int64(bytesPerNS * float64(windowNS))
+	if cap < 1 {
+		cap = 1
+	}
+	return &TokenBucket{windowNS: windowNS, capacity: cap}
+}
+
+// Charge accounts bytes at virtual time t and returns the queueing delay in
+// nanoseconds the caller must add to its clock (0 when uncongested).
+func (b *TokenBucket) Charge(t int64, bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	w := t / b.windowNS
+	slot := &b.slots[w%numWindows]
+	// Lazily recycle the slot for the current window. A lost race means a
+	// charge lands in a neighbouring window — harmless for the statistics
+	// this model produces.
+	if id := slot.id.Load(); id != w {
+		if slot.id.CompareAndSwap(id, w) {
+			slot.used.Store(0)
+		}
+	}
+	used := slot.used.Add(bytes)
+	if used <= b.capacity {
+		return 0
+	}
+	excess := used - b.capacity
+	// Delay = time to drain the excess at the sustainable rate.
+	return excess * b.windowNS / b.capacity
+}
+
+// Capacity returns bytes per window.
+func (b *TokenBucket) Capacity() int64 { return b.capacity }
+
+// WindowNS returns the accounting window length.
+func (b *TokenBucket) WindowNS() int64 { return b.windowNS }
+
+// DRAM aggregates the per-NUMA-node memory bandwidth of a machine.
+type DRAM struct {
+	nodes []*TokenBucket
+}
+
+// NewDRAM builds the per-node buckets from the topology's channel count and
+// per-channel bandwidth.
+func NewDRAM(t *topology.Topology, windowNS int64) *DRAM {
+	d := &DRAM{nodes: make([]*TokenBucket, t.NumNodes())}
+	perNode := float64(t.ChannelsPerNode) * t.Cost.ChannelBandwidth
+	for i := range d.nodes {
+		d.nodes[i] = NewTokenBucket(perNode, windowNS)
+	}
+	return d
+}
+
+// Charge accounts a DRAM transfer of bytes against node at time t and
+// returns the queueing delay.
+func (d *DRAM) Charge(node topology.NodeID, t, bytes int64) int64 {
+	return d.nodes[node].Charge(t, bytes)
+}

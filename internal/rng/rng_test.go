@@ -1,0 +1,96 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, b := uint64(42), uint64(42)
+	for i := 0; i < 100; i++ {
+		if SplitMix64(&a) != SplitMix64(&b) {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := uint64(43)
+	same := true
+	a = 42
+	for i := 0; i < 10; i++ {
+		if SplitMix64(&a) != SplitMix64(&c) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := seed
+		v := Float64(&s)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignedRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := seed
+		v := Signed(&s)
+		return v >= -1 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		s := seed
+		v := Intn(&s, int(n))
+		return v >= 0 && v < int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Chi-square-lite: 16 buckets over 64k draws must each hold within
+	// 20% of the expectation.
+	s := uint64(7)
+	var buckets [16]int
+	const draws = 1 << 16
+	for i := 0; i < draws; i++ {
+		buckets[Intn(&s, 16)]++
+	}
+	want := draws / 16
+	for i, c := range buckets {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d = %d, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestSeedStreamsDecorrelated(t *testing.T) {
+	s0 := Seed(1, 0)
+	s1 := Seed(1, 1)
+	if s0 == s1 {
+		t.Fatal("stream seeds collide")
+	}
+	matches := 0
+	for i := 0; i < 64; i++ {
+		if SplitMix64(&s0) == SplitMix64(&s1) {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Errorf("streams matched %d of 64 draws", matches)
+	}
+}

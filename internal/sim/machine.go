@@ -1,0 +1,301 @@
+// Package sim composes the substrate packages (topology, mem, cache,
+// fabric, pmu) into a Machine: a cost-model simulator of a chiplet-based
+// server. Workloads drive it with Access calls against simulated addresses;
+// the machine returns virtual-nanosecond costs and maintains the PMU
+// counters the CHARM runtime schedules on.
+//
+// Coherence is modeled at L3 granularity: chiplet L3 slices hold (possibly
+// shared) copies of lines; a write invalidates every other chiplet's copy,
+// so read-write sharing across chiplets produces the cache-to-cache
+// ping-pong traffic that chiplet-aware placement avoids. L2s are private
+// filters kept functionally inclusive in the local L3: an L2 hit counts
+// only while the local L3 still holds the line.
+package sim
+
+import (
+	"fmt"
+
+	"charm/internal/cache"
+	"charm/internal/fabric"
+	"charm/internal/mem"
+	"charm/internal/pmu"
+	"charm/internal/topology"
+)
+
+// Config parameterizes a Machine.
+type Config struct {
+	// Topo is the machine layout; required.
+	Topo *topology.Topology
+	// SampleShift simulates only 1/2^SampleShift of cache lines exactly;
+	// other lines are charged the core's recent average cost. 0 = exact.
+	SampleShift uint
+	// WindowNS is the bandwidth accounting window (0 = default 10 µs).
+	WindowNS int64
+	// MLP is the memory-level parallelism of contiguous accesses: within
+	// one multi-line Access, miss latencies after the first line overlap
+	// and are charged latency/MLP (bandwidth queueing is never divided).
+	// This is what makes streaming workloads bandwidth-bound rather than
+	// latency-bound, the §2.2 bottleneck. 0 selects 8.
+	MLP int64
+}
+
+// Machine is a simulated chiplet server. All methods are safe for
+// concurrent use by one goroutine per simulated core.
+type Machine struct {
+	Topo   *topology.Topology
+	Space  *mem.Space
+	DRAM   *mem.DRAM
+	Fabric *fabric.Fabric
+	PMU    *pmu.PMU
+
+	l2 []*cache.Cache // per core
+	l3 []*cache.Cache // per chiplet
+
+	sampleShift  uint
+	sampleFactor int64
+	mlp          int64
+
+	// avg holds the per-core EWMA cost of recent sampled line accesses,
+	// charged to unsampled lines. Owner-core access only; padded against
+	// false sharing.
+	avg []paddedCost
+}
+
+type paddedCost struct {
+	v int64
+	_ [56]byte
+}
+
+// New builds a Machine. It panics on an invalid topology, which indicates a
+// configuration programming error.
+func New(cfg Config) *Machine {
+	t := cfg.Topo
+	if t == nil {
+		panic("sim: Config.Topo is required")
+	}
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	mlp := cfg.MLP
+	if mlp <= 0 {
+		mlp = 8
+	}
+	m := &Machine{
+		Topo:         t,
+		Space:        mem.NewSpace(t),
+		DRAM:         mem.NewDRAM(t, cfg.WindowNS),
+		Fabric:       fabric.New(t, cfg.WindowNS),
+		PMU:          pmu.New(t.NumCores()),
+		sampleShift:  cfg.SampleShift,
+		sampleFactor: 1 << cfg.SampleShift,
+		mlp:          mlp,
+		avg:          make([]paddedCost, t.NumCores()),
+	}
+	m.l2 = make([]*cache.Cache, t.NumCores())
+	for i := range m.l2 {
+		if t.L2PerCore > 0 {
+			m.l2[i] = cache.New(t.L2PerCore, t.L2Ways, cfg.SampleShift)
+		}
+	}
+	m.l3 = make([]*cache.Cache, t.NumChiplets())
+	for i := range m.l3 {
+		m.l3[i] = cache.New(t.L3PerChiplet, t.L3Ways, cfg.SampleShift)
+	}
+	for i := range m.avg {
+		m.avg[i].v = t.Cost.L2Hit
+	}
+	return m
+}
+
+// SampleFactor returns 2^SampleShift, the extrapolation factor applied to
+// PMU fill counters.
+func (m *Machine) SampleFactor() int64 { return m.sampleFactor }
+
+// Access simulates core touching [addr, addr+size) at virtual time t and
+// returns the total cost in nanoseconds. write selects the coherence
+// action. Size may span many lines; sampled lines are simulated exactly and
+// the rest charged the core's running average cost.
+func (m *Machine) Access(core topology.CoreID, t int64, addr mem.Addr, size int64, write bool) int64 {
+	if size <= 0 {
+		return 0
+	}
+	first := uint64(addr) >> cache.LineShift
+	last := (uint64(addr) + uint64(size) - 1) >> cache.LineShift
+	var cost int64
+	mask := uint64(m.sampleFactor - 1)
+	// Contiguous multi-line accesses pipeline their misses (hardware
+	// prefetch + MLP): only the first line pays the full latency.
+	streamRun := last-first >= 3
+	for line := first; line <= last; line++ {
+		if line&mask == 0 {
+			c := m.accessLine(core, t+cost, line, addr, write, streamRun && line != first)
+			a := &m.avg[core]
+			a.v += (c - a.v) / 8
+			cost += c
+		} else {
+			cost += m.avg[core].v
+		}
+	}
+	if write {
+		m.PMU.Add(int(core), pmu.BytesWritten, size)
+	} else {
+		m.PMU.Add(int(core), pmu.BytesRead, size)
+	}
+	return cost
+}
+
+// Read is shorthand for a read Access.
+func (m *Machine) Read(core topology.CoreID, t int64, addr mem.Addr, size int64) int64 {
+	return m.Access(core, t, addr, size, false)
+}
+
+// Write is shorthand for a write Access.
+func (m *Machine) Write(core topology.CoreID, t int64, addr mem.Addr, size int64) int64 {
+	return m.Access(core, t, addr, size, true)
+}
+
+// accessLine simulates one sampled line access exactly. streaming marks a
+// non-leading line of a contiguous run: its miss latency overlaps with its
+// predecessors (divided by MLP) while bandwidth charges stay whole. Under
+// sampling, each sampled line represents sampleFactor real lines, so
+// bandwidth is charged for all of them.
+func (m *Machine) accessLine(core topology.CoreID, t int64, line uint64, addr mem.Addr, write bool, streaming bool) int64 {
+	topo := m.Topo
+	ch := topo.ChipletOf(core)
+	l3 := m.l3[ch]
+	l2 := m.l2[core]
+	xfer := int64(cache.LineSize) * m.sampleFactor
+
+	// pipelined divides a latency by MLP for non-leading lines of a
+	// contiguous run (hits pipeline just like misses).
+	pipelined := func(lat int64) int64 {
+		if streaming {
+			lat /= m.mlp
+			if lat < 1 {
+				lat = 1
+			}
+		}
+		return lat
+	}
+
+	// invalidationCost models the ownership-upgrade round trips a write
+	// to a shared line pays: each remote copy must be invalidated and
+	// acknowledged (the coherence serialization that makes contended
+	// lines expensive).
+	invalidationCost := func(copies int) int64 {
+		return int64(copies) * topo.Cost.L3RemoteNearHit / 2
+	}
+
+	// L2 hit, valid only while the local L3 still holds the line
+	// (functional inclusivity).
+	if l2 != nil && l2.Lookup(line, t) && l3.Contains(line) {
+		cost := pipelined(topo.Cost.L2Hit)
+		if write {
+			cost += invalidationCost(m.invalidateOthers(ch, line))
+		}
+		m.PMU.Add(int(core), pmu.FillL2, m.sampleFactor)
+		return cost
+	}
+
+	// Local L3 hit.
+	if l3.Lookup(line, t) {
+		cost := pipelined(topo.Cost.L3LocalHit)
+		if l2 != nil {
+			l2.Insert(line, t)
+		}
+		if write {
+			cost += invalidationCost(m.invalidateOthers(ch, line))
+		}
+		m.PMU.Add(int(core), pmu.FillL3Local, m.sampleFactor)
+		return cost
+	}
+
+	// Local miss: find the topologically closest chiplet holding the line.
+	holder, lat := m.closestHolder(core, ch, line)
+	var cost int64
+	var ev pmu.Event
+	if holder >= 0 {
+		q := m.Fabric.ChargeTransfer(topology.ChipletID(holder), ch, t, xfer)
+		cost = pipelined(lat) + q
+		switch topo.ClassOf(core, topo.FirstCoreOf(topology.ChipletID(holder))) {
+		case topology.InterChipletNear:
+			ev = pmu.FillL3RemoteNear
+		case topology.InterChipletFar:
+			ev = pmu.FillL3RemoteFar
+		default:
+			ev = pmu.FillL3RemoteSocket
+		}
+		if write {
+			cost += invalidationCost(m.invalidateOthers(ch, line))
+		}
+	} else {
+		node := m.Space.HomeOf(addr, topo.NodeOfCore(core))
+		qd := m.DRAM.Charge(node, t, xfer)
+		qf := m.Fabric.ChargeMemory(ch, node, t, xfer)
+		cost = pipelined(topo.DRAMLatency(core, node)) + qd + qf
+		if node == topo.NodeOfCore(core) {
+			ev = pmu.FillDRAMLocal
+		} else {
+			ev = pmu.FillDRAMRemote
+		}
+	}
+	l3.Insert(line, t)
+	if l2 != nil {
+		l2.Insert(line, t)
+	}
+	m.PMU.Add(int(core), ev, m.sampleFactor)
+	return cost
+}
+
+// closestHolder scans other chiplets for a cached copy and returns the one
+// with the lowest transfer latency, or (-1, 0) when none holds the line.
+func (m *Machine) closestHolder(core topology.CoreID, self topology.ChipletID, line uint64) (int, int64) {
+	best := -1
+	var bestLat int64
+	for i := range m.l3 {
+		if topology.ChipletID(i) == self || !m.l3[i].Contains(line) {
+			continue
+		}
+		lat := m.Topo.L3HitLatency(core, topology.ChipletID(i))
+		if best < 0 || lat < bestLat {
+			best, bestLat = i, lat
+		}
+	}
+	return best, bestLat
+}
+
+// invalidateOthers removes the line from every other chiplet's L3 and
+// returns the number of copies invalidated.
+func (m *Machine) invalidateOthers(self topology.ChipletID, line uint64) int {
+	n := 0
+	for i := range m.l3 {
+		if topology.ChipletID(i) == self {
+			continue
+		}
+		if m.l3[i].Invalidate(line) {
+			n++
+		}
+	}
+	return n
+}
+
+// L3 returns chiplet ch's cache (for tests and diagnostics).
+func (m *Machine) L3(ch topology.ChipletID) *cache.Cache { return m.l3[ch] }
+
+// L2Of returns core c's private cache, which may be nil.
+func (m *Machine) L2Of(c topology.CoreID) *cache.Cache { return m.l2[c] }
+
+// FlushCaches empties every cache; used between experiment repetitions.
+func (m *Machine) FlushCaches() {
+	for _, c := range m.l2 {
+		if c != nil {
+			c.Clear()
+		}
+	}
+	for _, c := range m.l3 {
+		c.Clear()
+	}
+	for i := range m.avg {
+		m.avg[i].v = m.Topo.Cost.L2Hit
+	}
+}

@@ -1,0 +1,114 @@
+// Package task provides the concurrent data structures of the runtime's
+// task layer: a lock-free Chase-Lev work-stealing deque (per-core local
+// queue, §4.4) and a Vyukov MPSC intrusive queue (per-worker RPC inbox).
+package task
+
+import (
+	"sync/atomic"
+)
+
+// Deque is a lock-free work-stealing deque (Chase & Lev, with the memory
+// ordering fixes of Lê et al.). The owner pushes and pops at the bottom;
+// thieves steal from the top. Go's atomic operations are sequentially
+// consistent, which satisfies the algorithm's strongest ordering needs.
+//
+// The zero value is not usable; call NewDeque.
+type Deque[T any] struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[ring[T]]
+}
+
+type ring[T any] struct {
+	mask  int64
+	items []atomic.Pointer[T]
+}
+
+func newRing[T any](capacity int64) *ring[T] {
+	return &ring[T]{mask: capacity - 1, items: make([]atomic.Pointer[T], capacity)}
+}
+
+func (r *ring[T]) get(i int64) *T    { return r.items[i&r.mask].Load() }
+func (r *ring[T]) put(i int64, v *T) { r.items[i&r.mask].Store(v) }
+func (r *ring[T]) cap() int64        { return r.mask + 1 }
+
+// NewDeque creates a deque with the given initial capacity (rounded up to a
+// power of two, minimum 8). The deque grows automatically.
+func NewDeque[T any](capacity int) *Deque[T] {
+	c := int64(8)
+	for c < int64(capacity) {
+		c <<= 1
+	}
+	d := &Deque[T]{}
+	d.buf.Store(newRing[T](c))
+	return d
+}
+
+// Push adds v at the bottom. Only the owner may call Push.
+func (d *Deque[T]) Push(v *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.buf.Load()
+	if b-t >= r.cap()-1 {
+		// Grow: copy live range into a ring of twice the size.
+		nr := newRing[T](r.cap() * 2)
+		for i := t; i < b; i++ {
+			nr.put(i, r.get(i))
+		}
+		d.buf.Store(nr)
+		r = nr
+	}
+	r.put(b, v)
+	d.bottom.Store(b + 1)
+}
+
+// Pop removes and returns the bottom element, or nil when the deque is
+// empty. Only the owner may call Pop.
+func (d *Deque[T]) Pop() *T {
+	b := d.bottom.Load() - 1
+	r := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore.
+		d.bottom.Store(t)
+		return nil
+	}
+	v := r.get(b)
+	if t == b {
+		// Last element: race with thieves via CAS on top.
+		if !d.top.CompareAndSwap(t, t+1) {
+			v = nil // a thief won
+		}
+		d.bottom.Store(b + 1)
+	}
+	return v
+}
+
+// Steal removes and returns the top element, or nil when the deque is empty
+// or the steal lost a race. Any goroutine may call Steal.
+func (d *Deque[T]) Steal() *T {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	r := d.buf.Load()
+	v := r.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return v
+}
+
+// Len returns an instantaneous (racy) size estimate.
+func (d *Deque[T]) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Empty reports whether the deque appears empty.
+func (d *Deque[T]) Empty() bool { return d.Len() == 0 }

@@ -1,0 +1,88 @@
+package task
+
+import "testing"
+
+// FuzzDequeSequential drives a deque with an arbitrary op sequence on the
+// owner side (push/pop) and checks it against a slice-backed reference.
+// Steals are exercised interleaved with the owner ops from the same
+// goroutine, where their LIFO/FIFO semantics are deterministic.
+func FuzzDequeSequential(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 0, 1, 1, 2})
+	f.Add([]byte{2, 2, 1, 0, 0, 0, 2, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		d := NewDeque[int](8)
+		var ref []int // reference: ref[0] is the top (steal side)
+		next := 0
+		vals := make([]int, 0, len(ops))
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push bottom
+				vals = append(vals, next)
+				d.Push(&vals[len(vals)-1])
+				ref = append(ref, next)
+				next++
+			case 1: // pop bottom
+				got := d.Pop()
+				if len(ref) == 0 {
+					if got != nil {
+						t.Fatalf("Pop on empty returned %d", *got)
+					}
+					continue
+				}
+				want := ref[len(ref)-1]
+				ref = ref[:len(ref)-1]
+				if got == nil || *got != want {
+					t.Fatalf("Pop = %v, want %d", got, want)
+				}
+			case 2: // steal top
+				got := d.Steal()
+				if len(ref) == 0 {
+					if got != nil {
+						t.Fatalf("Steal on empty returned %d", *got)
+					}
+					continue
+				}
+				want := ref[0]
+				ref = ref[1:]
+				if got == nil || *got != want {
+					t.Fatalf("Steal = %v, want %d", got, want)
+				}
+			}
+			if d.Len() != len(ref) {
+				t.Fatalf("Len = %d, want %d", d.Len(), len(ref))
+			}
+		}
+	})
+}
+
+// FuzzInboxSequential checks FIFO behavior under arbitrary put/take
+// interleavings from one goroutine.
+func FuzzInboxSequential(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		q := NewInbox[int]()
+		var ref []int
+		next := 0
+		for _, op := range ops {
+			if op%2 == 0 {
+				v := next
+				next++
+				q.Put(&v)
+				ref = append(ref, v)
+			} else {
+				got := q.Take()
+				if len(ref) == 0 {
+					if got != nil {
+						t.Fatalf("Take on empty returned %d", *got)
+					}
+					continue
+				}
+				want := ref[0]
+				ref = ref[1:]
+				if got == nil || *got != want {
+					t.Fatalf("Take = %v, want %d", got, want)
+				}
+			}
+		}
+	})
+}

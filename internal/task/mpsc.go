@@ -1,0 +1,82 @@
+package task
+
+import "sync/atomic"
+
+// node is an MPSC queue link.
+type node[T any] struct {
+	next atomic.Pointer[node[T]]
+	val  *T
+}
+
+// Inbox is a lock-free multi-producer single-consumer queue (Vyukov's
+// intrusive MPSC design). Producers Put from any goroutine; only the owner
+// may Take. Used as the per-worker message inbox for the call() RPC path.
+type Inbox[T any] struct {
+	head atomic.Pointer[node[T]] // producers swap here
+	tail *node[T]                // consumer-owned
+	stub node[T]
+}
+
+// NewInbox creates an empty inbox.
+func NewInbox[T any]() *Inbox[T] {
+	q := &Inbox[T]{}
+	q.head.Store(&q.stub)
+	q.tail = &q.stub
+	return q
+}
+
+// pushNode links n at the head. Safe for concurrent producers.
+func (q *Inbox[T]) pushNode(n *node[T]) {
+	n.next.Store(nil)
+	prev := q.head.Swap(n)
+	prev.next.Store(n)
+}
+
+// Put enqueues v. Safe for concurrent producers.
+func (q *Inbox[T]) Put(v *T) {
+	q.pushNode(&node[T]{val: v})
+}
+
+// Take dequeues the oldest element, or returns nil when the queue is empty.
+// A nil return during a concurrent Put means "retry later": the element
+// becomes visible once the producer finishes linking. Only the owner may
+// call Take.
+func (q *Inbox[T]) Take() *T {
+	tail := q.tail
+	next := tail.next.Load()
+	if tail == &q.stub {
+		if next == nil {
+			return nil // empty
+		}
+		// Skip the stub.
+		q.tail = next
+		tail = next
+		next = tail.next.Load()
+	}
+	if next != nil {
+		q.tail = next
+		v := tail.val
+		tail.val = nil
+		return v
+	}
+	if tail != q.head.Load() {
+		// A producer is between Swap and next.Store; not yet visible.
+		return nil
+	}
+	// Exactly one element: re-insert the stub behind it so the element
+	// gains a successor, then dequeue it.
+	q.pushNode(&q.stub)
+	next = tail.next.Load()
+	if next != nil {
+		q.tail = next
+		v := tail.val
+		tail.val = nil
+		return v
+	}
+	return nil
+}
+
+// Empty reports whether the inbox appears empty to the consumer.
+func (q *Inbox[T]) Empty() bool {
+	return q.tail == &q.stub && q.tail.next.Load() == nil
+}

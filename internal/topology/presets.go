@@ -1,0 +1,156 @@
+package topology
+
+// Preset machine models. Latency values follow the measurements reported in
+// §2.1 of the paper (Fig. 3) and published Milan/Sapphire Rapids numbers;
+// they are deliberately round — the simulator reproduces *shapes*, not
+// absolute hardware timings.
+
+// AMDMilan7713x2 models the paper's primary testbed: a dual-socket AMD EPYC
+// Milan 7713 in NPS1 mode — per socket: 1 NUMA node, 8 CCDs (chiplets) with
+// one 8-core CCX and a 32 MiB L3 slice each, 8 DDR4-3200 memory channels.
+func AMDMilan7713x2() *Topology {
+	return &Topology{
+		Name:             "amd-epyc-milan-7713x2",
+		Sockets:          2,
+		NodesPerSocket:   1,
+		ChipletsPerNode:  8,
+		CoresPerChiplet:  8,
+		QuadrantChiplets: 2,
+		SMTWays:          2,
+		CacheLine:        64,
+		L2PerCore:        512 << 10,
+		L3PerChiplet:     32 << 20,
+		L2Ways:           8,
+		L3Ways:           16,
+		ChannelsPerNode:  8,
+		Cost: CostModel{
+			L1Hit:             1,
+			L2Hit:             3,
+			L3LocalHit:        13,
+			L3RemoteNearHit:   85,
+			L3RemoteFarHit:    155,
+			L3RemoteSocketHit: 330,
+			DRAMLocal:         105,
+			DRAMRemote:        260,
+			CASIntraChiplet:   25,
+			CASInterNear:      85,
+			CASInterFar:       155,
+			CASInterSocket:    340,
+			ChannelBandwidth:  25.6, // DDR4-3200, bytes/ns per channel
+			FabricBandwidth:   42.0, // CCD<->I/O-die per direction
+			SocketBandwidth:   76.0, // xGMI aggregate per direction
+			CoroutineSwitch:   100,
+			ThreadSwitch:      2000,
+			ThreadSpawn:       12000,
+			StealPenalty:      60,
+		},
+	}
+}
+
+// IntelSPR8488Cx2 models the secondary testbed: dual-socket Intel Xeon
+// Platinum 8488C (Sapphire Rapids) — per socket: 48 cores over 4 compute
+// tiles sharing a 105 MiB L3. Sapphire Rapids' mesh makes the L3 behave
+// quasi-monolithically: inter-tile penalties are much flatter than on Milan,
+// which is why CHARM's advantage narrows there (§5.3).
+func IntelSPR8488Cx2() *Topology {
+	return &Topology{
+		Name:             "intel-xeon-8488cx2",
+		Sockets:          2,
+		NodesPerSocket:   1,
+		ChipletsPerNode:  4,
+		CoresPerChiplet:  12,
+		QuadrantChiplets: 2,
+		SMTWays:          2, // 48 cores / 96 threads per socket
+		CacheLine:        64,
+		L2PerCore:        2 << 20,
+		L3PerChiplet:     105 << 20 / 4, // ~26 MiB slice per tile
+		L2Ways:           16,
+		L3Ways:           15,
+		ChannelsPerNode:  8,
+		Cost: CostModel{
+			L1Hit:             1,
+			L2Hit:             4,
+			L3LocalHit:        22,
+			L3RemoteNearHit:   33, // mesh: flat inter-tile latency
+			L3RemoteFarHit:    40,
+			L3RemoteSocketHit: 250,
+			DRAMLocal:         112,
+			DRAMRemote:        235,
+			CASIntraChiplet:   30,
+			CASInterNear:      40,
+			CASInterFar:       48,
+			CASInterSocket:    255,
+			ChannelBandwidth:  38.4, // DDR5-4800
+			FabricBandwidth:   60.0,
+			SocketBandwidth:   64.0, // UPI aggregate
+			CoroutineSwitch:   100,
+			ThreadSwitch:      2000,
+			ThreadSpawn:       12000,
+			StealPenalty:      60,
+		},
+	}
+}
+
+// Synthetic returns a small single-socket machine for unit tests:
+// 1 socket x 1 node x chiplets x coresPerChiplet, with tiny caches so cache
+// dynamics are exercised by small inputs.
+func Synthetic(chiplets, coresPerChiplet int) *Topology {
+	return &Topology{
+		Name:             "synthetic",
+		Sockets:          1,
+		NodesPerSocket:   1,
+		ChipletsPerNode:  chiplets,
+		CoresPerChiplet:  coresPerChiplet,
+		QuadrantChiplets: 2,
+		CacheLine:        64,
+		L2PerCore:        8 << 10,
+		L3PerChiplet:     64 << 10,
+		L2Ways:           4,
+		L3Ways:           8,
+		ChannelsPerNode:  2,
+		Cost: CostModel{
+			L1Hit:             1,
+			L2Hit:             3,
+			L3LocalHit:        13,
+			L3RemoteNearHit:   85,
+			L3RemoteFarHit:    155,
+			L3RemoteSocketHit: 220,
+			DRAMLocal:         105,
+			DRAMRemote:        195,
+			CASIntraChiplet:   25,
+			CASInterNear:      85,
+			CASInterFar:       155,
+			CASInterSocket:    210,
+			ChannelBandwidth:  25.6,
+			FabricBandwidth:   42.0,
+			SocketBandwidth:   76.0,
+			CoroutineSwitch:   100,
+			ThreadSwitch:      2000,
+			ThreadSpawn:       12000,
+			StealPenalty:      60,
+		},
+	}
+}
+
+// SyntheticDual returns a small dual-socket machine for unit tests.
+func SyntheticDual(chipletsPerNode, coresPerChiplet int) *Topology {
+	t := Synthetic(chipletsPerNode, coresPerChiplet)
+	t.Name = "synthetic-dual"
+	t.Sockets = 2
+	return t
+}
+
+// AMDMilanNPS4 is the Milan testbed configured in NPS4 mode: each socket is
+// partitioned into 4 NUMA nodes of 2 chiplets and 2 memory channels. The
+// paper notes (§1, insight 4) that overly strict NUMA-aware optimizations
+// can hurt on chiplet CPUs; NPS4 is the configuration where that bites,
+// since NUMA-aware policies confine workers to a quarter socket.
+func AMDMilanNPS4() *Topology {
+	t := AMDMilan7713x2()
+	t.Name = "amd-epyc-milan-7713x2-nps4"
+	t.NodesPerSocket = 4
+	t.ChipletsPerNode = 2
+	t.QuadrantChiplets = 2
+	t.ChannelsPerNode = 2
+	return t
+}

@@ -1,0 +1,336 @@
+package graph
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"charm"
+	"charm/internal/rng"
+)
+
+// BFS runs a level-synchronous parallel breadth-first search from root and
+// returns the parent array along with the execution result. Frontier
+// expansion generates one task per `grain` frontier entries — the dynamic
+// per-active-node decomposition described in §5.1.
+func (b *Bound) BFS(root int32) ([]int32, Result) {
+	g := b.G
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[root] = root
+
+	frontier := []int32{root}
+	next := make([]int32, g.N)
+	var nextLen atomic.Int64
+	var edges atomic.Int64
+	res := Result{Name: "bfs"}
+	start := b.RT.Now()
+
+	for len(frontier) > 0 {
+		nextLen.Store(0)
+		b.RT.ParallelFor(0, len(frontier), b.grain, func(ctx *charm.Ctx, i0, i1 int) {
+			// Read this frontier chunk (contiguous).
+			ctx.Read(b.AFront+charm.Addr(i0*4), int64(i1-i0)*4)
+			var local []int32
+			var traversed int64
+			for i := i0; i < i1; i++ {
+				v := frontier[i]
+				ctx.Yield() // per-vertex scheduling/profiling point
+				ctx.Read(b.AOff+charm.Addr(int64(v)*8), 16)
+				e0, e1 := g.Offsets[v], g.Offsets[v+1]
+				if e1 > e0 {
+					ctx.Read(b.AEdge+charm.Addr(e0*4), (e1-e0)*4)
+				}
+				for _, u := range g.Neighbors(v) {
+					traversed++
+					ctx.Read(b.propAddr(b.AProp, u), 8)
+					if atomic.LoadInt32(&parent[u]) != -1 {
+						continue
+					}
+					if atomic.CompareAndSwapInt32(&parent[u], -1, v) {
+						ctx.Write(b.propAddr(b.AProp, u), 8)
+						local = append(local, u)
+					}
+				}
+			}
+			if len(local) > 0 {
+				at := nextLen.Add(int64(len(local))) - int64(len(local))
+				copy(next[at:], local)
+				ctx.Write(b.AFront+charm.Addr(at*4), int64(len(local))*4)
+			}
+			edges.Add(traversed)
+		})
+		n := nextLen.Load()
+		frontier = append(frontier[:0], next[:n]...)
+		res.Rounds++
+	}
+	res.Makespan = b.RT.Now() - start
+	res.WorkEdges = edges.Load()
+	return parent, res
+}
+
+// PageRank runs iters rounds of pull-based PageRank with damping 0.85 and
+// returns the rank vector.
+func (b *Bound) PageRank(iters int) ([]float64, Result) {
+	g := b.G
+	rank := make([]float64, g.N)
+	rank2 := make([]float64, g.N)
+	inv := 1.0 / float64(g.N)
+	for i := range rank {
+		rank[i] = inv
+	}
+	res := Result{Name: "pagerank"}
+	start := b.RT.Now()
+	var edges atomic.Int64
+
+	for it := 0; it < iters; it++ {
+		b.RT.ParallelFor(0, g.N, b.grain, func(ctx *charm.Ctx, i0, i1 int) {
+			b.chargeVertexScan(ctx, i0, i1, false)
+			var traversed int64
+			for v := i0; v < i1; v++ {
+				ctx.Yield()
+				var sum float64
+				for _, u := range g.Neighbors(int32(v)) {
+					traversed++
+					ctx.Read(b.propAddr(b.AProp, u), 8)
+					if d := g.Degree(u); d > 0 {
+						sum += rank[u] / float64(d)
+					}
+				}
+				rank2[v] = 0.15*inv + 0.85*sum
+				ctx.Compute(int64(g.Degree(int32(v))) * 2)
+			}
+			ctx.Write(b.AProp2+charm.Addr(i0*8), int64(i1-i0)*8)
+			edges.Add(traversed)
+		})
+		rank, rank2 = rank2, rank
+		b.AProp, b.AProp2 = b.AProp2, b.AProp
+		res.Rounds++
+	}
+	res.Makespan = b.RT.Now() - start
+	res.WorkEdges = edges.Load()
+	return rank, res
+}
+
+// CC runs min-label propagation until a fixed point and returns the
+// component label of every vertex.
+func (b *Bound) CC() ([]int32, Result) {
+	g := b.G
+	label := make([]int32, g.N)
+	for i := range label {
+		label[i] = int32(i)
+	}
+	res := Result{Name: "cc"}
+	start := b.RT.Now()
+	var edges atomic.Int64
+
+	for {
+		var changed atomic.Bool
+		b.RT.ParallelFor(0, g.N, b.grain, func(ctx *charm.Ctx, i0, i1 int) {
+			b.chargeVertexScan(ctx, i0, i1, false)
+			var traversed int64
+			for v := i0; v < i1; v++ {
+				ctx.Yield()
+				best := atomic.LoadInt32(&label[v])
+				for _, u := range g.Neighbors(int32(v)) {
+					traversed++
+					ctx.Read(b.propAddr(b.AProp, u), 8)
+					if l := atomic.LoadInt32(&label[u]); l < best {
+						best = l
+					}
+				}
+				if best < atomic.LoadInt32(&label[v]) {
+					atomic.StoreInt32(&label[v], best)
+					ctx.Write(b.propAddr(b.AProp, int32(v)), 8)
+					changed.Store(true)
+				}
+			}
+			edges.Add(traversed)
+		})
+		res.Rounds++
+		if !changed.Load() {
+			break
+		}
+	}
+	res.Makespan = b.RT.Now() - start
+	res.WorkEdges = edges.Load()
+	return label, res
+}
+
+// SSSP runs frontier-based Bellman-Ford relaxation from root over the
+// weighted graph and returns the distance vector (math.MaxInt64/2 for
+// unreachable vertices).
+func (b *Bound) SSSP(root int32) ([]int64, Result) {
+	g := b.G
+	const inf = int64(1) << 62
+	dist := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[root] = 0
+
+	frontier := []int32{root}
+	inNext := make([]int32, g.N) // 0/1 membership flags for dedup
+	next := make([]int32, g.N)
+	var nextLen atomic.Int64
+	var edges atomic.Int64
+	res := Result{Name: "sssp"}
+	start := b.RT.Now()
+
+	for len(frontier) > 0 {
+		nextLen.Store(0)
+		b.RT.ParallelFor(0, len(frontier), b.grain, func(ctx *charm.Ctx, i0, i1 int) {
+			ctx.Read(b.AFront+charm.Addr(i0*4), int64(i1-i0)*4)
+			var local []int32
+			var traversed int64
+			for i := i0; i < i1; i++ {
+				v := frontier[i]
+				ctx.Yield()
+				ctx.Read(b.AOff+charm.Addr(int64(v)*8), 16)
+				e0, e1 := g.Offsets[v], g.Offsets[v+1]
+				if e1 > e0 {
+					ctx.Read(b.AEdge+charm.Addr(e0*4), (e1-e0)*4)
+					ctx.Read(b.AWeight+charm.Addr(e0), e1-e0)
+				}
+				dv := atomic.LoadInt64(&dist[v])
+				nbrs := g.Neighbors(v)
+				ws := g.WeightsOf(v)
+				for k, u := range nbrs {
+					traversed++
+					nd := dv + int64(ws[k])
+					ctx.Read(b.propAddr(b.AProp, u), 8)
+					for {
+						cur := atomic.LoadInt64(&dist[u])
+						if nd >= cur {
+							break
+						}
+						if atomic.CompareAndSwapInt64(&dist[u], cur, nd) {
+							ctx.Write(b.propAddr(b.AProp, u), 8)
+							if atomic.CompareAndSwapInt32(&inNext[u], 0, 1) {
+								local = append(local, u)
+							}
+							break
+						}
+					}
+				}
+			}
+			if len(local) > 0 {
+				at := nextLen.Add(int64(len(local))) - int64(len(local))
+				copy(next[at:], local)
+				ctx.Write(b.AFront+charm.Addr(at*4), int64(len(local))*4)
+			}
+			edges.Add(traversed)
+		})
+		n := nextLen.Load()
+		frontier = append(frontier[:0], next[:n]...)
+		for _, v := range frontier {
+			inNext[v] = 0
+		}
+		res.Rounds++
+	}
+	res.Makespan = b.RT.Now() - start
+	res.WorkEdges = edges.Load()
+	return dist, res
+}
+
+// Graph500 runs the Graph500 kernel: BFS from `roots` pseudo-random
+// distinct roots with result validation (the spec's kernel-2 check),
+// reporting aggregate traversed edges per second.
+func (b *Bound) Graph500(roots int) Result {
+	if roots <= 0 {
+		roots = 4
+	}
+	res := Result{Name: "graph500"}
+	state := uint64(0x12345)
+	start := b.RT.Now()
+	for r := 0; r < roots; r++ {
+		root := int32(rng.SplitMix64(&state) % uint64(b.G.N))
+		// Pick a root with edges so the search does real work.
+		for b.G.Degree(root) == 0 {
+			root = int32(rng.SplitMix64(&state) % uint64(b.G.N))
+		}
+		parent, br := b.BFS(root)
+		if err := ValidateBFS(b.G, root, parent); err != nil {
+			panic("graph: graph500 validation failed: " + err.Error())
+		}
+		res.WorkEdges += br.WorkEdges
+		res.Rounds += br.Rounds
+	}
+	res.Makespan = b.RT.Now() - start
+	return res
+}
+
+// ValidateBFS checks a BFS parent array against the Graph500 validation
+// rules: the root is its own parent, every parent edge exists in the
+// graph, and the implied levels are consistent (each vertex is exactly one
+// level below its parent, with no cycles).
+func ValidateBFS(g *CSR, root int32, parent []int32) error {
+	if len(parent) != g.N {
+		return fmt.Errorf("parent array len %d, want %d", len(parent), g.N)
+	}
+	if parent[root] != root {
+		return fmt.Errorf("root %d has parent %d", root, parent[root])
+	}
+	// Compute levels by chasing parents with a visited bound (cycle
+	// detection): no chain may exceed N hops.
+	level := make([]int32, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	var chase func(v int32, depth int) (int32, error)
+	chase = func(v int32, depth int) (int32, error) {
+		if depth > g.N {
+			return 0, fmt.Errorf("parent chain cycle at %d", v)
+		}
+		if level[v] >= 0 {
+			return level[v], nil
+		}
+		p := parent[v]
+		if p < 0 {
+			return -1, nil // unreachable
+		}
+		// Parent edge must exist.
+		ok := false
+		for _, u := range g.Neighbors(v) {
+			if u == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return 0, fmt.Errorf("parent %d of %d is not a neighbor", p, v)
+		}
+		pl, err := chase(p, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		if pl < 0 {
+			return 0, fmt.Errorf("vertex %d reached through unreachable parent %d", v, p)
+		}
+		level[v] = pl + 1
+		return level[v], nil
+	}
+	for v := int32(0); int(v) < g.N; v++ {
+		if _, err := chase(v, 0); err != nil {
+			return err
+		}
+	}
+	// Tree edges span exactly one level; graph edges span at most one.
+	for v := int32(0); int(v) < g.N; v++ {
+		if level[v] < 0 {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if level[u] < 0 {
+				return fmt.Errorf("edge (%d,%d) crosses into unvisited territory", v, u)
+			}
+			d := level[v] - level[u]
+			if d < -1 || d > 1 {
+				return fmt.Errorf("edge (%d,%d) spans %d levels", v, u, d)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"charm"
+)
+
+// Bound ties a CSR to a runtime's simulated address space. Every algorithm
+// touch of the host arrays is mirrored by an Access on the corresponding
+// simulated range, so cache behavior, chiplet transfers and NUMA traffic
+// are charged faithfully.
+type Bound struct {
+	G  *CSR
+	RT *charm.Runtime
+
+	// Simulated mirrors of the structure arrays.
+	AOff, AEdge, AWeight charm.Addr
+	// AProp and AProp2 mirror the per-vertex property arrays (8 B each):
+	// parents, ranks, labels, or distances depending on the algorithm.
+	AProp, AProp2 charm.Addr
+	// AFront mirrors the frontier array (4 B per entry).
+	AFront charm.Addr
+
+	grain int
+}
+
+// Result reports one algorithm execution.
+type Result struct {
+	Name string
+	// Makespan is the summed virtual time of all parallel phases (ns).
+	Makespan int64
+	// WorkEdges counts edges traversed or relaxed.
+	WorkEdges int64
+	// Rounds is the number of barrier-separated rounds executed.
+	Rounds int
+}
+
+// TEPS returns traversed edges per virtual second.
+func (r Result) TEPS() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.WorkEdges) / (float64(r.Makespan) / 1e9)
+}
+
+// Bind allocates the simulated mirrors under a first-touch policy and
+// distributes the first touch across the runtime's workers, so pages land
+// where each system's placement puts its workers (the NUMA behavior a real
+// run would produce).
+func Bind(rt *charm.Runtime, g *CSR, grain int) *Bound {
+	if grain <= 0 {
+		grain = 256
+	}
+	b := &Bound{G: g, RT: rt, grain: grain}
+	n, m := int64(g.N), int64(g.M())
+	b.AOff = rt.AllocPolicy((n+1)*8, charm.FirstTouch, 0)
+	b.AEdge = rt.AllocPolicy(max64(m*4, 1), charm.FirstTouch, 0)
+	b.AWeight = rt.AllocPolicy(max64(m, 1), charm.FirstTouch, 0)
+	b.AProp = rt.AllocPolicy(n*8, charm.FirstTouch, 0)
+	b.AProp2 = rt.AllocPolicy(n*8, charm.FirstTouch, 0)
+	b.AFront = rt.AllocPolicy(n*4, charm.FirstTouch, 0)
+
+	// First-touch pass: workers claim the pages of their vertex ranges.
+	rt.ParallelFor(0, g.N, grain, func(ctx *charm.Ctx, i0, i1 int) {
+		ctx.Write(b.AOff+charm.Addr(i0*8), int64(i1-i0)*8)
+		ctx.Write(b.AProp+charm.Addr(i0*8), int64(i1-i0)*8)
+		ctx.Write(b.AProp2+charm.Addr(i0*8), int64(i1-i0)*8)
+		ctx.Write(b.AFront+charm.Addr(i0*4), int64(i1-i0)*4)
+		e0, e1 := g.Offsets[i0], g.Offsets[i1]
+		if e1 > e0 {
+			ctx.Write(b.AEdge+charm.Addr(e0*4), (e1-e0)*4)
+			ctx.Write(b.AWeight+charm.Addr(e0), e1-e0)
+		}
+	})
+	return b
+}
+
+// Free releases the simulated mirrors.
+func (b *Bound) Free() {
+	rt := b.RT
+	for _, a := range []charm.Addr{b.AOff, b.AEdge, b.AWeight, b.AProp, b.AProp2, b.AFront} {
+		rt.Free(a)
+	}
+}
+
+// chargeVertexScan charges the structure reads for processing vertices
+// [i0,i1): their offsets and full adjacency runs (contiguous).
+func (b *Bound) chargeVertexScan(ctx *charm.Ctx, i0, i1 int, withWeights bool) {
+	ctx.Read(b.AOff+charm.Addr(i0*8), int64(i1-i0+1)*8)
+	e0, e1 := b.G.Offsets[i0], b.G.Offsets[i1]
+	if e1 > e0 {
+		ctx.Read(b.AEdge+charm.Addr(e0*4), (e1-e0)*4)
+		if withWeights {
+			ctx.Read(b.AWeight+charm.Addr(e0), e1-e0)
+		}
+	}
+}
+
+// propAddr returns the simulated address of vertex v's 8-byte property.
+func (b *Bound) propAddr(base charm.Addr, v int32) charm.Addr {
+	return base + charm.Addr(int64(v)*8)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+// Package graph implements the graph-processing workloads of the paper's
+// evaluation (§5.1): a Graph500-style Kronecker generator and five
+// algorithms — BFS, PageRank, Connected Components, SSSP, and the Graph500
+// kernel — decomposed into fine-grained tasks over vertex ranges and driven
+// against the simulated machine (every data-structure touch is charged to
+// the cache/memory model).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row graph. Graphs are symmetrized at build
+// time (each generated edge is inserted in both directions), which lets the
+// pull-based algorithms reuse the same structure.
+type CSR struct {
+	N       int     // vertices
+	Offsets []int64 // len N+1
+	Edges   []int32 // neighbor lists, len M
+	Weights []uint8 // per-edge weights (for SSSP), len M
+}
+
+// M returns the number of directed edges stored.
+func (g *CSR) M() int { return len(g.Edges) }
+
+// Degree returns vertex v's out-degree.
+func (g *CSR) Degree(v int32) int64 { return g.Offsets[v+1] - g.Offsets[v] }
+
+// Neighbors returns v's adjacency slice.
+func (g *CSR) Neighbors(v int32) []int32 {
+	return g.Edges[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// WeightsOf returns v's adjacency weight slice.
+func (g *CSR) WeightsOf(v int32) []uint8 {
+	return g.Weights[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// ApproxBytes returns the memory footprint of the structure arrays, used to
+// label the Fig. 10 size sweep.
+func (g *CSR) ApproxBytes() int64 {
+	return int64(len(g.Offsets))*8 + int64(len(g.Edges))*4 + int64(len(g.Weights))
+}
+
+// Validate checks CSR invariants.
+func (g *CSR) Validate() error {
+	if len(g.Offsets) != g.N+1 {
+		return fmt.Errorf("graph: offsets len %d, want %d", len(g.Offsets), g.N+1)
+	}
+	if g.Offsets[0] != 0 || g.Offsets[g.N] != int64(len(g.Edges)) {
+		return fmt.Errorf("graph: offset endpoints [%d,%d] inconsistent with %d edges",
+			g.Offsets[0], g.Offsets[g.N], len(g.Edges))
+	}
+	if !sort.SliceIsSorted(g.Offsets, func(i, j int) bool { return g.Offsets[i] < g.Offsets[j] }) {
+		// Equal neighbors are allowed; only strict decreases are invalid.
+		for i := 0; i < g.N; i++ {
+			if g.Offsets[i] > g.Offsets[i+1] {
+				return fmt.Errorf("graph: offsets decrease at %d", i)
+			}
+		}
+	}
+	for i, e := range g.Edges {
+		if e < 0 || int(e) >= g.N {
+			return fmt.Errorf("graph: edge %d targets %d outside [0,%d)", i, e, g.N)
+		}
+	}
+	if len(g.Weights) != len(g.Edges) {
+		return fmt.Errorf("graph: %d weights for %d edges", len(g.Weights), len(g.Edges))
+	}
+	return nil
+}
+
+// buildCSR constructs a symmetric CSR from an edge list.
+func buildCSR(n int, src, dst []int32, w []uint8) *CSR {
+	deg := make([]int64, n+1)
+	for i := range src {
+		deg[src[i]+1]++
+		deg[dst[i]+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	offsets := deg
+	m := offsets[n]
+	edges := make([]int32, m)
+	weights := make([]uint8, m)
+	cursor := make([]int64, n)
+	for i := range src {
+		s, d := src[i], dst[i]
+		p := offsets[s] + cursor[s]
+		edges[p], weights[p] = d, w[i]
+		cursor[s]++
+		p = offsets[d] + cursor[d]
+		edges[p], weights[p] = s, w[i]
+		cursor[d]++
+	}
+	return &CSR{N: n, Offsets: offsets, Edges: edges, Weights: weights}
+}

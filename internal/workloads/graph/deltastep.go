@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"charm"
+)
+
+// SSSPDelta runs delta-stepping SSSP (Meyer & Sanders): vertices are
+// bucketed by distance/delta; each bucket settles its light edges
+// (weight < delta) through repeated parallel relaxation rounds before its
+// heavy edges are relaxed once. Compared to the plain Bellman-Ford
+// frontier (SSSP), delta-stepping bounds re-relaxation work and is the
+// strategy high-performance SSSP implementations use. delta <= 0 selects
+// 64 (weights are 1..255).
+func (b *Bound) SSSPDelta(root int32, delta int64) ([]int64, Result) {
+	if delta <= 0 {
+		delta = 64
+	}
+	g := b.G
+	const inf = int64(1) << 62
+	dist := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[root] = 0
+
+	// Buckets are grown on demand; membership is deduplicated per round
+	// with an epoch-stamped array.
+	var mu sync.Mutex
+	buckets := [][]int32{{root}}
+	inRound := make([]int32, g.N)
+	settledIn := make([]int32, g.N) // bucket+1 the vertex was settled in
+	res := Result{Name: "sssp-delta"}
+	var edges atomic.Int64
+	start := b.RT.Now()
+
+	bucketOf := func(d int64) int { return int(d / delta) }
+	push := func(local map[int][]int32, v int32, d int64) {
+		bi := bucketOf(d)
+		local[bi] = append(local[bi], v)
+	}
+	merge := func(local map[int][]int32) {
+		mu.Lock()
+		for bi, vs := range local {
+			for len(buckets) <= bi {
+				buckets = append(buckets, nil)
+			}
+			buckets[bi] = append(buckets[bi], vs...)
+		}
+		mu.Unlock()
+	}
+
+	// relax processes the given frontier, relaxing edges with weight
+	// predicate keep(), collecting newly improved vertices into buckets.
+	relax := func(frontier []int32, light bool) {
+		if len(frontier) == 0 {
+			return
+		}
+		b.RT.ParallelFor(0, len(frontier), b.grain, func(ctx *charm.Ctx, i0, i1 int) {
+			local := map[int][]int32{}
+			var traversed int64
+			ctx.Read(b.AFront+charm.Addr(i0*4), int64(i1-i0)*4)
+			for i := i0; i < i1; i++ {
+				v := frontier[i]
+				ctx.Yield()
+				ctx.Read(b.AOff+charm.Addr(int64(v)*8), 16)
+				e0, e1 := g.Offsets[v], g.Offsets[v+1]
+				if e1 > e0 {
+					ctx.Read(b.AEdge+charm.Addr(e0*4), (e1-e0)*4)
+					ctx.Read(b.AWeight+charm.Addr(e0), e1-e0)
+				}
+				dv := atomic.LoadInt64(&dist[v])
+				if dv == inf {
+					continue
+				}
+				nbrs := g.Neighbors(v)
+				ws := g.WeightsOf(v)
+				for k, u := range nbrs {
+					w := int64(ws[k])
+					if light != (w < delta) {
+						continue
+					}
+					traversed++
+					nd := dv + w
+					ctx.Read(b.propAddr(b.AProp, u), 8)
+					for {
+						cur := atomic.LoadInt64(&dist[u])
+						if nd >= cur {
+							break
+						}
+						if atomic.CompareAndSwapInt64(&dist[u], cur, nd) {
+							ctx.Write(b.propAddr(b.AProp, u), 8)
+							push(local, u, nd)
+							break
+						}
+					}
+				}
+			}
+			edges.Add(traversed)
+			merge(local)
+		})
+	}
+
+	for bi := 0; bi < len(buckets); bi++ {
+		// Settle the bucket's light edges: vertices may re-enter the
+		// current bucket, so iterate until it is empty. Deduplicate per
+		// round using inRound stamps.
+		var settled []int32
+		round := int32(1)
+		for {
+			mu.Lock()
+			cur := buckets[bi]
+			buckets[bi] = nil
+			mu.Unlock()
+			if len(cur) == 0 {
+				break
+			}
+			frontier := cur[:0:0]
+			for _, v := range cur {
+				if atomic.LoadInt64(&dist[v]) >= int64(bi+1)*delta {
+					continue // moved to a later bucket
+				}
+				if atomic.SwapInt32(&inRound[v], round) != round {
+					frontier = append(frontier, v)
+					if settledIn[v] != int32(bi+1) {
+						settledIn[v] = int32(bi + 1)
+						settled = append(settled, v)
+					}
+				}
+			}
+			relax(frontier, true)
+			res.Rounds++
+			round++
+		}
+		// One heavy-edge pass over everything the bucket settled.
+		relax(settled, false)
+		for _, v := range settled {
+			inRound[v] = 0
+		}
+	}
+	res.Makespan = b.RT.Now() - start
+	res.WorkEdges = edges.Load()
+	return dist, res
+}

@@ -1,0 +1,579 @@
+package olap
+
+import (
+	"fmt"
+
+	"charm"
+)
+
+// QueryResult reports one query execution.
+type QueryResult struct {
+	ID       int
+	Makespan int64   // virtual ns
+	Value    float64 // deterministic checksum of the query's aggregate
+}
+
+// RunQuery executes TPC-H query analog id (1..22) and returns its result.
+// The plans mirror the operator mixes of the corresponding TPC-H queries:
+// Q1/Q6 scan-dominated, Q3/Q5/Q7/Q9/Q10/Q21 join chains over large tables,
+// Q18 a large hash group-by, the rest mixtures (see queries_test.go for the
+// shape assertions).
+func (e *Engine) RunQuery(id int) QueryResult {
+	start := e.RT.Now()
+	var v float64
+	switch id {
+	case 1:
+		v = e.q1()
+	case 2:
+		v = e.q2()
+	case 3:
+		v = e.q3()
+	case 4:
+		v = e.q4()
+	case 5:
+		v = e.q5()
+	case 6:
+		v = e.q6()
+	case 7:
+		v = e.q7()
+	case 8:
+		v = e.q8()
+	case 9:
+		v = e.q9()
+	case 10:
+		v = e.q10()
+	case 11:
+		v = e.q11()
+	case 12:
+		v = e.q12()
+	case 13:
+		v = e.q13()
+	case 14:
+		v = e.q14()
+	case 15:
+		v = e.q15()
+	case 16:
+		v = e.q16()
+	case 17:
+		v = e.q17()
+	case 18:
+		v = e.q18()
+	case 19:
+		v = e.q19()
+	case 20:
+		v = e.q20()
+	case 21:
+		v = e.q21()
+	case 22:
+		v = e.q22()
+	default:
+		panic(fmt.Sprintf("olap: no query %d", id))
+	}
+	return QueryResult{ID: id, Makespan: e.RT.Now() - start, Value: v}
+}
+
+// q1: pricing summary — full lineitem scan, 6-way group aggregate.
+func (e *Engine) q1() float64 {
+	t := e.T
+	groups := make([][6]float64, e.RT.Workers())
+	cols := []column{t.Col("l_retflag"), t.Col("l_linestat"), t.Col("l_shipdate"),
+		t.Col("l_extprice"), t.Col("l_discount"), t.Col("l_quantity")}
+	e.RT.ParallelFor(0, t.LRows, e.Grain, func(ctx *charm.Ctx, i0, i1 int) {
+		for _, c := range cols {
+			c.read(ctx, i0, i1)
+		}
+		g := &groups[ctx.Worker()]
+		for i := i0; i < i1; i++ {
+			if t.LShipdate[i] <= 2400 {
+				k := int(t.LRetFlag[i])*2 + int(t.LLineStat[i])
+				g[k] += t.LExtPrice[i] * (1 - t.LDiscount[i])
+			}
+		}
+		ctx.Compute(int64(i1-i0) * 6)
+		ctx.Yield()
+	})
+	var sum float64
+	for _, g := range groups {
+		for k, s := range g {
+			sum += s * float64(k+1)
+		}
+	}
+	return sum
+}
+
+// q2: minimum-cost supplier — small part filter joined to supplier.
+func (e *Engine) q2() float64 {
+	t := e.T
+	ids := e.Select(t.PRows, []string{"p_size", "p_brand"}, func(i int) bool {
+		return t.PSize[i] == 15 && t.PBrand[i] < 5
+	})
+	return e.Agg(len(ids), []string{"s_nation"}, func(ctx *charm.Ctx, i int) float64 {
+		p := ids[i]
+		s := int(p) % t.SRows
+		return float64(t.SNation[s]) + float64(p)*1e-6
+	})
+}
+
+// q3: shipping priority — customer ⨝ orders ⨝ lineitem with date filters.
+func (e *Engine) q3() float64 {
+	t := e.T
+	cust := e.Select(t.CRows, []string{"c_segment"}, func(i int) bool { return t.CSegment[i] == 1 })
+	ch := e.Build(cust, func(i int32) int64 { return int64(i) })
+	defer ch.Free()
+	ords := e.Select(t.ORows, []string{"o_custkey", "o_orderdate"}, func(i int) bool {
+		return t.OOrderdate[i] < 1200
+	})
+	// Probe customers while building the order table.
+	oh := e.newHashTable(len(ords)+1, false)
+	e.RT.ParallelFor(0, len(ords), e.Grain, func(ctx *charm.Ctx, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			o := ords[i]
+			if _, ok := ch.probe(ctx, int64(t.OCustkey[o])); ok {
+				oh.insert(ctx, int64(o), o)
+			}
+			ctx.Yield()
+		}
+	})
+	defer oh.Free()
+	// Group revenue by order and return the top 10 (Q3's ORDER BY
+	// revenue DESC LIMIT 10).
+	rev := e.GroupSum(t.LRows, []string{"l_orderkey", "l_shipdate", "l_extprice", "l_discount"},
+		func(i int) bool {
+			if t.LShipdate[i] <= 1200 {
+				return false
+			}
+			_, ok := hostProbe(oh, t.LOrderkey[i])
+			return ok
+		},
+		func(i int) int64 { return t.LOrderkey[i] },
+		func(i int) float64 { return t.LExtPrice[i] * (1 - t.LDiscount[i]) },
+		len(ords)+1)
+	defer rev.Free()
+	var v float64
+	for rank, kv := range rev.TopK(10) {
+		v += kv.Sum * float64(rank+1)
+	}
+	return v
+}
+
+// q4: order priority checking — semi-join of lineitem against an order
+// date window.
+func (e *Engine) q4() float64 {
+	t := e.T
+	ords := e.Select(t.ORows, []string{"o_orderdate"}, func(i int) bool {
+		return t.OOrderdate[i] >= 1200 && t.OOrderdate[i] < 1290
+	})
+	oh := e.Build(ords, func(i int32) int64 { return int64(i) })
+	defer oh.Free()
+	return e.Agg(t.LRows, []string{"l_orderkey", "l_discount"}, func(ctx *charm.Ctx, i int) float64 {
+		if t.LDiscount[i] <= 0.05 {
+			return 0
+		}
+		if _, ok := oh.probe(ctx, t.LOrderkey[i]); ok {
+			return 1
+		}
+		return 0
+	})
+}
+
+// q5: local supplier volume — customer ⨝ orders ⨝ lineitem ⨝ supplier with
+// a nation filter.
+func (e *Engine) q5() float64 {
+	t := e.T
+	cust := e.Select(t.CRows, []string{"c_nation"}, func(i int) bool { return t.CNation[i] < 5 })
+	ch := e.Build(cust, func(i int32) int64 { return int64(i) })
+	defer ch.Free()
+	ords := e.Select(t.ORows, []string{"o_custkey", "o_orderdate"}, func(i int) bool {
+		return t.OOrderdate[i] >= 365 && t.OOrderdate[i] < 730
+	})
+	oh := e.newHashTable(len(ords)+1, false)
+	e.RT.ParallelFor(0, len(ords), e.Grain, func(ctx *charm.Ctx, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			o := ords[i]
+			if _, ok := ch.probe(ctx, int64(t.OCustkey[o])); ok {
+				oh.insert(ctx, int64(o), o)
+			}
+			ctx.Yield()
+		}
+	})
+	defer oh.Free()
+	return e.Agg(t.LRows, []string{"l_orderkey", "l_suppkey", "l_extprice", "l_discount"},
+		func(ctx *charm.Ctx, i int) float64 {
+			touch(ctx, t.Col("s_nation"), int64(t.LSuppkey[i]))
+			if t.SNation[t.LSuppkey[i]] >= 5 {
+				return 0
+			}
+			if _, ok := oh.probe(ctx, t.LOrderkey[i]); ok {
+				return t.LExtPrice[i] * (1 - t.LDiscount[i])
+			}
+			return 0
+		})
+}
+
+// q6: revenue forecast — pure lineitem scan with selective filters.
+func (e *Engine) q6() float64 {
+	t := e.T
+	return e.Agg(t.LRows, []string{"l_shipdate", "l_discount", "l_quantity", "l_extprice"},
+		func(ctx *charm.Ctx, i int) float64 {
+			if t.LShipdate[i] >= 365 && t.LShipdate[i] < 730 &&
+				t.LDiscount[i] >= 0.05 && t.LDiscount[i] <= 0.07 && t.LQuantity[i] < 24 {
+				return t.LExtPrice[i] * t.LDiscount[i]
+			}
+			return 0
+		})
+}
+
+// q7: volume shipping — lineitem ⨝ orders ⨝ customer with a nation pair.
+func (e *Engine) q7() float64 {
+	t := e.T
+	oh := e.Build(e.Select(t.ORows, []string{"o_orderdate", "o_custkey"}, func(i int) bool {
+		return t.OOrderdate[i] >= 730 && t.OOrderdate[i] < 1460
+	}), func(i int32) int64 { return int64(i) })
+	defer oh.Free()
+	return e.Agg(t.LRows, []string{"l_orderkey", "l_suppkey", "l_extprice", "l_discount"},
+		func(ctx *charm.Ctx, i int) float64 {
+			touch(ctx, t.Col("s_nation"), int64(t.LSuppkey[i]))
+			sn := t.SNation[t.LSuppkey[i]]
+			if sn != 1 && sn != 2 {
+				return 0
+			}
+			o, ok := oh.probe(ctx, t.LOrderkey[i])
+			if !ok {
+				return 0
+			}
+			touch(ctx, t.Col("c_nation"), int64(t.OCustkey[o]))
+			cn := t.CNation[t.OCustkey[o]]
+			if (sn == 1 && cn == 2) || (sn == 2 && cn == 1) {
+				return t.LExtPrice[i] * (1 - t.LDiscount[i])
+			}
+			return 0
+		})
+}
+
+// q8: national market share — part-filtered lineitem joined to orders.
+func (e *Engine) q8() float64 {
+	t := e.T
+	ph := e.Build(e.Select(t.PRows, []string{"p_brand"}, func(i int) bool {
+		return t.PBrand[i] == 7
+	}), func(i int32) int64 { return int64(i) })
+	defer ph.Free()
+	return e.Agg(t.LRows, []string{"l_partkey", "l_orderkey", "l_extprice", "l_discount"},
+		func(ctx *charm.Ctx, i int) float64 {
+			if _, ok := ph.probe(ctx, int64(t.LPartkey[i])); !ok {
+				return 0
+			}
+			touch(ctx, t.Col("o_orderdate"), t.LOrderkey[i])
+			year := t.OOrderdate[t.LOrderkey[i]] / 365
+			return t.LExtPrice[i] * (1 - t.LDiscount[i]) * float64(year+1)
+		})
+}
+
+// q9: product type profit — part-filtered lineitem grouped by order year.
+func (e *Engine) q9() float64 {
+	t := e.T
+	ph := e.Build(e.Select(t.PRows, []string{"p_brand"}, func(i int) bool {
+		return t.PBrand[i]%5 == 0
+	}), func(i int32) int64 { return int64(i) })
+	defer ph.Free()
+	years := make([][8]float64, e.RT.Workers())
+	cols := []column{e.T.Col("l_partkey"), e.T.Col("l_orderkey"), e.T.Col("l_extprice"),
+		e.T.Col("l_quantity")}
+	e.RT.ParallelFor(0, t.LRows, e.Grain, func(ctx *charm.Ctx, i0, i1 int) {
+		for _, c := range cols {
+			c.read(ctx, i0, i1)
+		}
+		y := &years[ctx.Worker()]
+		for i := i0; i < i1; i++ {
+			if _, ok := ph.probe(ctx, int64(t.LPartkey[i])); ok {
+				touch(ctx, e.T.Col("o_orderdate"), t.LOrderkey[i])
+				yr := t.OOrderdate[t.LOrderkey[i]] / 365
+				y[yr] += t.LExtPrice[i] - t.LQuantity[i]*10
+			}
+			ctx.Yield()
+		}
+	})
+	var sum float64
+	for _, y := range years {
+		for k, s := range y {
+			sum += s * float64(k+1)
+		}
+	}
+	return sum
+}
+
+// q10: returned items — orders window joined to flagged lineitem, grouped
+// by customer.
+func (e *Engine) q10() float64 {
+	t := e.T
+	oh := e.Build(e.Select(t.ORows, []string{"o_orderdate", "o_custkey"}, func(i int) bool {
+		return t.OOrderdate[i] >= 900 && t.OOrderdate[i] < 990
+	}), func(i int32) int64 { return int64(i) })
+	defer oh.Free()
+	g := e.GroupSum(t.LRows, []string{"l_orderkey", "l_retflag", "l_extprice", "l_discount"},
+		func(i int) bool { return t.LRetFlag[i] == 2 },
+		func(i int) int64 {
+			if o, ok := hostProbe(oh, t.LOrderkey[i]); ok {
+				return int64(t.OCustkey[o])
+			}
+			return -1
+		},
+		func(i int) float64 { return t.LExtPrice[i] * (1 - t.LDiscount[i]) },
+		t.CRows)
+	defer g.Free()
+	// Q10 returns the top 20 customers by returned revenue.
+	var v float64
+	for rank, kv := range g.TopK(20) {
+		v += kv.Sum * float64(rank+1)
+	}
+	return v
+}
+
+// q11: important stock — tiny supplier-side aggregate.
+func (e *Engine) q11() float64 {
+	t := e.T
+	return e.Agg(t.SRows, []string{"s_nation"}, func(ctx *charm.Ctx, i int) float64 {
+		if t.SNation[i] == 3 {
+			return float64(i)
+		}
+		return 0
+	})
+}
+
+// q12: shipping modes — lineitem mode filter semi-joined to orders,
+// weighted by priority.
+func (e *Engine) q12() float64 {
+	t := e.T
+	return e.Agg(t.LRows, []string{"l_shipmode", "l_shipdate", "l_orderkey"},
+		func(ctx *charm.Ctx, i int) float64 {
+			if m := t.LShipMode[i]; m != 3 && m != 4 {
+				return 0
+			}
+			if t.LShipdate[i] < 1095 || t.LShipdate[i] >= 1460 {
+				return 0
+			}
+			touch(ctx, e.T.Col("o_priority"), t.LOrderkey[i])
+			if t.OPriority[t.LOrderkey[i]] < 2 {
+				return 2
+			}
+			return 1
+		})
+}
+
+// q13: customer order counts — large group-by over orders.
+func (e *Engine) q13() float64 {
+	t := e.T
+	g := e.GroupSum(t.ORows, []string{"o_custkey"},
+		func(i int) bool { return true },
+		func(i int) int64 { return int64(t.OCustkey[i]) },
+		func(i int) float64 { return 1 },
+		t.CRows)
+	defer g.Free()
+	v, n := g.SumWhere(func(s float64) bool { return s >= 2 })
+	return v + float64(n)
+}
+
+// q14: promotion effect — date-filtered lineitem joined to part.
+func (e *Engine) q14() float64 {
+	t := e.T
+	var promo, total float64
+	promo = e.Agg(t.LRows, []string{"l_shipdate", "l_partkey", "l_extprice", "l_discount"},
+		func(ctx *charm.Ctx, i int) float64 {
+			if t.LShipdate[i] < 1000 || t.LShipdate[i] >= 1030 {
+				return 0
+			}
+			touch(ctx, t.Col("p_brand"), int64(t.LPartkey[i]))
+			rev := t.LExtPrice[i] * (1 - t.LDiscount[i])
+			if t.PBrand[t.LPartkey[i]] < 3 {
+				return rev
+			}
+			return 0
+		})
+	total = e.Agg(t.LRows, []string{"l_shipdate", "l_extprice", "l_discount"},
+		func(ctx *charm.Ctx, i int) float64 {
+			if t.LShipdate[i] < 1000 || t.LShipdate[i] >= 1030 {
+				return 0
+			}
+			return t.LExtPrice[i] * (1 - t.LDiscount[i])
+		})
+	if total == 0 {
+		return 0
+	}
+	return 100 * promo / total
+}
+
+// q15: top supplier — lineitem revenue grouped by supplier.
+func (e *Engine) q15() float64 {
+	t := e.T
+	g := e.GroupSum(t.LRows, []string{"l_shipdate", "l_suppkey", "l_extprice", "l_discount"},
+		func(i int) bool { return t.LShipdate[i] >= 500 && t.LShipdate[i] < 590 },
+		func(i int) int64 { return int64(t.LSuppkey[i]) },
+		func(i int) float64 { return t.LExtPrice[i] * (1 - t.LDiscount[i]) },
+		t.SRows)
+	defer g.Free()
+	top := g.TopK(1)
+	if len(top) == 0 {
+		return 0
+	}
+	return top[0].Sum
+}
+
+// q16: part/supplier relationship — filtered part counts by brand/size.
+func (e *Engine) q16() float64 {
+	t := e.T
+	return e.Agg(t.PRows, []string{"p_brand", "p_size", "p_container"},
+		func(ctx *charm.Ctx, i int) float64 {
+			if t.PBrand[i] == 9 || t.PContainer[i] == 11 {
+				return 0
+			}
+			if s := t.PSize[i]; s == 1 || s == 7 || s == 13 || s == 19 || s == 25 || s == 31 || s == 37 || s == 49 {
+				return float64(t.PBrand[i]) + 1
+			}
+			return 0
+		})
+}
+
+// q17: small-quantity revenue — narrow part filter joined to lineitem.
+func (e *Engine) q17() float64 {
+	t := e.T
+	ph := e.Build(e.Select(t.PRows, []string{"p_brand", "p_container"}, func(i int) bool {
+		return t.PBrand[i] == 11 && t.PContainer[i] == 3
+	}), func(i int32) int64 { return int64(i) })
+	defer ph.Free()
+	v := e.Agg(t.LRows, []string{"l_partkey", "l_quantity", "l_extprice"},
+		func(ctx *charm.Ctx, i int) float64 {
+			if t.LQuantity[i] >= 5 {
+				return 0
+			}
+			if _, ok := ph.probe(ctx, int64(t.LPartkey[i])); ok {
+				return t.LExtPrice[i]
+			}
+			return 0
+		})
+	return v / 7
+}
+
+// q18: large volume customers — the big hash group-by over order keys the
+// paper highlights as CHARM's hardest case (uneven distribution).
+func (e *Engine) q18() float64 {
+	t := e.T
+	g := e.GroupSum(t.LRows, []string{"l_orderkey", "l_quantity"},
+		func(i int) bool { return true },
+		func(i int) int64 { return t.LOrderkey[i] },
+		func(i int) float64 { return t.LQuantity[i] },
+		t.ORows)
+	defer g.Free()
+	v, n := g.SumWhere(func(s float64) bool { return s > 180 })
+	return v + float64(n)
+}
+
+// q19: discounted revenue — disjunctive part/lineitem predicates.
+func (e *Engine) q19() float64 {
+	t := e.T
+	ph := e.Build(e.Select(t.PRows, []string{"p_brand", "p_container", "p_size"}, func(i int) bool {
+		return (t.PBrand[i] == 3 && t.PContainer[i] < 10) ||
+			(t.PBrand[i] == 14 && t.PContainer[i] >= 10 && t.PContainer[i] < 20) ||
+			(t.PBrand[i] == 21 && t.PSize[i] < 15)
+	}), func(i int32) int64 { return int64(i) })
+	defer ph.Free()
+	return e.Agg(t.LRows, []string{"l_partkey", "l_quantity", "l_shipmode", "l_extprice", "l_discount"},
+		func(ctx *charm.Ctx, i int) float64 {
+			if t.LShipMode[i] > 2 || t.LQuantity[i] > 30 {
+				return 0
+			}
+			if _, ok := ph.probe(ctx, int64(t.LPartkey[i])); ok {
+				return t.LExtPrice[i] * (1 - t.LDiscount[i])
+			}
+			return 0
+		})
+}
+
+// q20: potential promotion — part filter with per-part quantity sums.
+func (e *Engine) q20() float64 {
+	t := e.T
+	ph := e.Build(e.Select(t.PRows, []string{"p_brand"}, func(i int) bool {
+		return t.PBrand[i] == 5
+	}), func(i int32) int64 { return int64(i) })
+	defer ph.Free()
+	g := e.GroupSum(t.LRows, []string{"l_partkey", "l_quantity"},
+		func(i int) bool { _, ok := hostProbe(ph, int64(t.LPartkey[i])); return ok },
+		func(i int) int64 { return int64(t.LPartkey[i]) },
+		func(i int) float64 { return t.LQuantity[i] },
+		t.PRows/25+8)
+	defer g.Free()
+	_, n := g.SumWhere(func(s float64) bool { return s > 50 })
+	return float64(n)
+}
+
+// q21: suppliers who kept orders waiting — supplier-filtered lineitem
+// joined to orders (the paper's multi-join showcase).
+func (e *Engine) q21() float64 {
+	t := e.T
+	oh := e.Build(e.Select(t.ORows, []string{"o_priority"}, func(i int) bool {
+		return t.OPriority[i] <= 2
+	}), func(i int32) int64 { return int64(i) })
+	defer oh.Free()
+	return e.Agg(t.LRows, []string{"l_suppkey", "l_orderkey", "l_quantity"},
+		func(ctx *charm.Ctx, i int) float64 {
+			touch(ctx, t.Col("s_nation"), int64(t.LSuppkey[i]))
+			if t.SNation[t.LSuppkey[i]] != 3 {
+				return 0
+			}
+			if _, ok := oh.probe(ctx, t.LOrderkey[i]); ok && t.LQuantity[i] > 25 {
+				return 1
+			}
+			return 0
+		})
+}
+
+// q22: global sales opportunity — customer balance filter anti-joined to
+// orders.
+func (e *Engine) q22() float64 {
+	t := e.T
+	avg := e.Agg(t.CRows, []string{"c_acctbal"}, func(ctx *charm.Ctx, i int) float64 {
+		if t.CAcctbal[i] > 0 {
+			return t.CAcctbal[i]
+		}
+		return 0
+	}) / float64(t.CRows)
+	// Build the set of customers with orders.
+	oc := e.GroupSum(t.ORows, []string{"o_custkey"},
+		func(i int) bool { return true },
+		func(i int) int64 { return int64(t.OCustkey[i]) },
+		func(i int) float64 { return 1 },
+		t.CRows)
+	defer oc.Free()
+	return e.Agg(t.CRows, []string{"c_acctbal", "c_nation"}, func(ctx *charm.Ctx, i int) float64 {
+		if t.CAcctbal[i] <= avg || t.CNation[i] >= 7 {
+			return 0
+		}
+		if _, ok := oc.probe(ctx, int64(i)); ok {
+			return 0 // anti-join: skip customers with orders
+		}
+		return t.CAcctbal[i]
+	})
+}
+
+// touch charges a single-row random access into a dimension column.
+func touch(ctx *charm.Ctx, c column, idx int64) {
+	ctx.Read(c.addr+charm.Addr(idx*c.width), c.width)
+}
+
+// hostProbe probes a hash table without charging simulated traffic, for
+// predicates evaluated inside operators that charge their own accesses.
+func hostProbe(ht *HashTable, key int64) (int32, bool) {
+	j := hash64(key) & ht.mask
+	for {
+		k := ht.keys[j].Load()
+		if k == 0 {
+			return 0, false
+		}
+		if k == key+1 {
+			var v int32
+			if ht.vals != nil {
+				v = ht.vals[j]
+			}
+			return v, true
+		}
+		j = (j + 1) & ht.mask
+	}
+}

@@ -1,0 +1,220 @@
+// Package olap implements the analytical-database workload of §5.6: a
+// miniature columnar engine (parallel scans, hash joins, aggregations) over
+// TPC-H-shaped tables, with 22 query plans that mirror the operator mixes
+// of TPC-H Q1-Q22. The paper integrates CHARM into DuckDB by overriding its
+// scheduler and thread mapping; here the same query plans run on any
+// runtime system, so DuckDB-default (static chiplet-oblivious scatter) and
+// DuckDB+CHARM (adaptive) are directly comparable.
+package olap
+
+import (
+	"charm"
+	"charm/internal/rng"
+)
+
+// Column element widths in bytes.
+const (
+	w64 = 8
+	w32 = 4
+	w8  = 1
+)
+
+// column is a host array mirrored in simulated memory.
+type column struct {
+	addr  charm.Addr
+	width int64
+}
+
+// read charges the contiguous read of rows [i0,i1).
+func (c column) read(ctx *charm.Ctx, i0, i1 int) {
+	ctx.Read(c.addr+charm.Addr(int64(i0)*c.width), int64(i1-i0)*c.width)
+}
+
+// Tables holds the TPC-H-shaped dataset, host-side values plus simulated
+// mirrors. Row counts follow TPC-H's table ratios relative to lineitem.
+type Tables struct {
+	// lineitem
+	LRows     int
+	LOrderkey []int64
+	LPartkey  []int32
+	LSuppkey  []int32
+	LQuantity []float64
+	LExtPrice []float64
+	LDiscount []float64
+	LShipdate []int32 // days since epoch, 0..2557 (7 years)
+	LRetFlag  []uint8 // 0..2
+	LLineStat []uint8 // 0..1
+	LShipMode []uint8 // 0..6
+
+	// orders
+	ORows      int
+	OCustkey   []int32
+	OOrderdate []int32
+	OTotal     []float64
+	OPriority  []uint8 // 0..4
+
+	// customer
+	CRows    int
+	CNation  []uint8 // 0..24
+	CSegment []uint8 // 0..4
+	CAcctbal []float64
+
+	// part
+	PRows      int
+	PBrand     []uint8 // 0..24
+	PSize      []int32 // 1..50
+	PContainer []uint8 // 0..39
+
+	// supplier
+	SRows   int
+	SNation []uint8
+
+	cols map[string]column
+}
+
+// Config parameterizes generation.
+type Config struct {
+	// LineitemRows scales the dataset; other tables follow TPC-H ratios
+	// (orders 1/4, customer 1/40, part 1/30, supplier 1/600).
+	LineitemRows int
+	Seed         uint64
+}
+
+// Generate builds the dataset and mirrors every column into the runtime's
+// simulated memory (first-touch distributed by the workers).
+func Generate(rt *charm.Runtime, cfg Config) *Tables {
+	if cfg.LineitemRows <= 0 {
+		panic("olap: LineitemRows must be positive")
+	}
+	l := cfg.LineitemRows
+	t := &Tables{
+		LRows: l,
+		ORows: maxInt(l/4, 1),
+		CRows: maxInt(l/40, 1),
+		PRows: maxInt(l/30, 1),
+		SRows: maxInt(l/600, 1),
+		cols:  map[string]column{},
+	}
+	s := cfg.Seed*0x9E3779B97F4A7C15 + 123
+
+	t.LOrderkey = make([]int64, l)
+	t.LPartkey = make([]int32, l)
+	t.LSuppkey = make([]int32, l)
+	t.LQuantity = make([]float64, l)
+	t.LExtPrice = make([]float64, l)
+	t.LDiscount = make([]float64, l)
+	t.LShipdate = make([]int32, l)
+	t.LRetFlag = make([]uint8, l)
+	t.LLineStat = make([]uint8, l)
+	t.LShipMode = make([]uint8, l)
+	for i := 0; i < l; i++ {
+		t.LOrderkey[i] = int64(rng.SplitMix64(&s) % uint64(t.ORows))
+		t.LPartkey[i] = int32(rng.SplitMix64(&s) % uint64(t.PRows))
+		t.LSuppkey[i] = int32(rng.SplitMix64(&s) % uint64(t.SRows))
+		t.LQuantity[i] = 1 + rng.Float64(&s)*49
+		t.LExtPrice[i] = 100 + rng.Float64(&s)*99900
+		t.LDiscount[i] = rng.Float64(&s) * 0.1
+		t.LShipdate[i] = int32(rng.SplitMix64(&s) % 2557)
+		t.LRetFlag[i] = uint8(rng.SplitMix64(&s) % 3)
+		t.LLineStat[i] = uint8(rng.SplitMix64(&s) % 2)
+		t.LShipMode[i] = uint8(rng.SplitMix64(&s) % 7)
+	}
+	t.OCustkey = make([]int32, t.ORows)
+	t.OOrderdate = make([]int32, t.ORows)
+	t.OTotal = make([]float64, t.ORows)
+	t.OPriority = make([]uint8, t.ORows)
+	for i := 0; i < t.ORows; i++ {
+		t.OCustkey[i] = int32(rng.SplitMix64(&s) % uint64(t.CRows))
+		t.OOrderdate[i] = int32(rng.SplitMix64(&s) % 2557)
+		t.OTotal[i] = 1000 + rng.Float64(&s)*500000
+		t.OPriority[i] = uint8(rng.SplitMix64(&s) % 5)
+	}
+	t.CNation = make([]uint8, t.CRows)
+	t.CSegment = make([]uint8, t.CRows)
+	t.CAcctbal = make([]float64, t.CRows)
+	for i := 0; i < t.CRows; i++ {
+		t.CNation[i] = uint8(rng.SplitMix64(&s) % 25)
+		t.CSegment[i] = uint8(rng.SplitMix64(&s) % 5)
+		t.CAcctbal[i] = rng.Float64(&s)*11000 - 1000
+	}
+	t.PBrand = make([]uint8, t.PRows)
+	t.PSize = make([]int32, t.PRows)
+	t.PContainer = make([]uint8, t.PRows)
+	for i := 0; i < t.PRows; i++ {
+		t.PBrand[i] = uint8(rng.SplitMix64(&s) % 25)
+		t.PSize[i] = int32(rng.SplitMix64(&s)%50) + 1
+		t.PContainer[i] = uint8(rng.SplitMix64(&s) % 40)
+	}
+	t.SNation = make([]uint8, t.SRows)
+	for i := 0; i < t.SRows; i++ {
+		t.SNation[i] = uint8(rng.SplitMix64(&s) % 25)
+	}
+
+	alloc := func(name string, rows int, width int64) {
+		t.cols[name] = column{
+			addr:  rt.AllocPolicy(int64(rows)*width, charm.FirstTouch, 0),
+			width: width,
+		}
+	}
+	alloc("l_orderkey", l, w64)
+	alloc("l_partkey", l, w32)
+	alloc("l_suppkey", l, w32)
+	alloc("l_quantity", l, w64)
+	alloc("l_extprice", l, w64)
+	alloc("l_discount", l, w64)
+	alloc("l_shipdate", l, w32)
+	alloc("l_retflag", l, w8)
+	alloc("l_linestat", l, w8)
+	alloc("l_shipmode", l, w8)
+	alloc("o_custkey", t.ORows, w32)
+	alloc("o_orderdate", t.ORows, w32)
+	alloc("o_total", t.ORows, w64)
+	alloc("o_priority", t.ORows, w8)
+	alloc("c_nation", t.CRows, w8)
+	alloc("c_segment", t.CRows, w8)
+	alloc("c_acctbal", t.CRows, w64)
+	alloc("p_brand", t.PRows, w8)
+	alloc("p_size", t.PRows, w32)
+	alloc("p_container", t.PRows, w8)
+	alloc("s_nation", t.SRows, w8)
+
+	// First touch by the workers so pages land with each system's
+	// placement.
+	for _, rows := range []struct {
+		n     int
+		names []string
+	}{
+		{l, []string{"l_orderkey", "l_partkey", "l_suppkey", "l_quantity", "l_extprice", "l_discount", "l_shipdate", "l_retflag", "l_linestat", "l_shipmode"}},
+		{t.ORows, []string{"o_custkey", "o_orderdate", "o_total", "o_priority"}},
+		{t.CRows, []string{"c_nation", "c_segment", "c_acctbal"}},
+		{t.PRows, []string{"p_brand", "p_size", "p_container"}},
+		{t.SRows, []string{"s_nation"}},
+	} {
+		names := rows.names
+		n := rows.n
+		rt.ParallelFor(0, n, 1<<13, func(ctx *charm.Ctx, i0, i1 int) {
+			for _, name := range names {
+				c := t.cols[name]
+				ctx.Write(c.addr+charm.Addr(int64(i0)*c.width), int64(i1-i0)*c.width)
+			}
+		})
+	}
+	return t
+}
+
+// Col returns a named column mirror; it panics on unknown names
+// (a query programming error).
+func (t *Tables) Col(name string) column {
+	c, ok := t.cols[name]
+	if !ok {
+		panic("olap: unknown column " + name)
+	}
+	return c
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+// Package streamcluster implements the PARSEC streamcluster workload used
+// in §5.4: streaming k-median clustering over batched points. The hot
+// kernel (the PARSEC pgain function) evaluates, in parallel over all
+// points, whether opening a candidate center reduces total cost; the
+// shared read of the candidate/centers plus per-batch barriers give the
+// workload its locality, sharing and synchronization profile.
+package streamcluster
+
+import (
+	"sync/atomic"
+
+	"charm"
+	"charm/internal/rng"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	Points int
+	Dims   int
+	// Batch is the stream chunk size (the paper uses 200,000 points).
+	Batch int
+	// CandidateRounds is the number of center candidates evaluated per
+	// batch (the local-search depth).
+	CandidateRounds int
+	// Grain is points per task (0 selects 512).
+	Grain int
+	Seed  uint64
+	// ReplicatePoints allocates one copy of the point block per NUMA node
+	// and lets workers read their local copy — SHOAL's array replication.
+	ReplicatePoints bool
+	// CentralAlloc binds all data to node 0 (main-thread allocation, no
+	// NUMA awareness) instead of distributing it first-touch.
+	CentralAlloc bool
+}
+
+// Result reports one run.
+type Result struct {
+	Makespan int64
+	Centers  int
+	Batches  int
+	// FinalCost is the summed assignment cost (for correctness checks).
+	FinalCost float64
+}
+
+// Run executes the clustering on the runtime.
+func Run(rt *charm.Runtime, cfg Config) Result {
+	if cfg.Points <= 0 || cfg.Dims <= 0 {
+		panic("streamcluster: Points and Dims must be positive")
+	}
+	if cfg.Batch <= 0 || cfg.Batch > cfg.Points {
+		cfg.Batch = cfg.Points
+	}
+	if cfg.CandidateRounds <= 0 {
+		cfg.CandidateRounds = 8
+	}
+	if cfg.Grain <= 0 {
+		cfg.Grain = 512
+	}
+	n, d := cfg.Points, cfg.Dims
+	rowBytes := int64(d) * 4
+
+	// Host data.
+	state := cfg.Seed*0x9E3779B97F4A7C15 + 77
+	pts := make([]float32, n*d)
+	for i := range pts {
+		pts[i] = float32(rng.Float64(&state))*2 - 1
+	}
+	assignCost := make([]float64, n) // distance to current center
+	centerOf := make([]int32, n)
+
+	// Simulated mirrors. With replication every node owns a copy of the
+	// points and workers read the local one; otherwise a single
+	// first-touch copy is shared.
+	topo := rt.Topology()
+	var ptsAddrs []charm.Addr
+	var aCost charm.Addr
+	switch {
+	case cfg.ReplicatePoints:
+		for node := 0; node < topo.NumNodes(); node++ {
+			ptsAddrs = append(ptsAddrs, rt.AllocOn(int64(n)*rowBytes, charm.NodeID(node)))
+		}
+		aCost = rt.AllocPolicy(int64(n)*8, charm.FirstTouch, 0)
+	case cfg.CentralAlloc:
+		ptsAddrs = []charm.Addr{rt.AllocOn(int64(n)*rowBytes, 0)}
+		aCost = rt.AllocOn(int64(n)*8, 0)
+	default:
+		ptsAddrs = []charm.Addr{rt.AllocPolicy(int64(n)*rowBytes, charm.FirstTouch, 0)}
+		aCost = rt.AllocPolicy(int64(n)*8, charm.FirstTouch, 0)
+	}
+
+	ptsAddrFor := func(ctx *charm.Ctx) charm.Addr {
+		if !cfg.ReplicatePoints {
+			return ptsAddrs[0]
+		}
+		return ptsAddrs[topo.NodeOfCore(ctx.CoreID())]
+	}
+	rowAddr := func(ctx *charm.Ctx, i int) charm.Addr {
+		return ptsAddrFor(ctx) + charm.Addr(int64(i)*rowBytes)
+	}
+
+	// First-touch initialization by the workers.
+	rt.ParallelFor(0, n, cfg.Grain, func(ctx *charm.Ctx, i0, i1 int) {
+		ctx.Write(rowAddr(ctx, i0), int64(i1-i0)*rowBytes)
+		ctx.Write(aCost+charm.Addr(i0*8), int64(i1-i0)*8)
+	})
+
+	dist := func(a, b []float32) float64 {
+		var s float64
+		for j := range a {
+			df := float64(a[j] - b[j])
+			s += df * df
+		}
+		return s
+	}
+	row := func(i int) []float32 { return pts[i*d : (i+1)*d] }
+
+	res := Result{}
+	start := rt.Now()
+	centers := []int32{}
+
+	for b0 := 0; b0 < n; b0 += cfg.Batch {
+		b1 := b0 + cfg.Batch
+		if b1 > n {
+			b1 = n
+		}
+		res.Batches++
+		// Seed the batch with its first point as a center.
+		first := int32(b0)
+		centers = append(centers, first)
+		rt.ParallelFor(b0, b1, cfg.Grain, func(ctx *charm.Ctx, i0, i1 int) {
+			ctx.Read(rowAddr(ctx, int(first)), rowBytes)
+			ctx.Read(rowAddr(ctx, i0), int64(i1-i0)*rowBytes)
+			for i := i0; i < i1; i++ {
+				assignCost[i] = dist(row(i), row(int(first)))
+				centerOf[i] = first
+				ctx.Compute(int64(d)/4 + 1)
+				ctx.Yield()
+			}
+			ctx.Write(aCost+charm.Addr(i0*8), int64(i1-i0)*8)
+		})
+
+		// Local search: evaluate candidate centers (pgain).
+		openCost := float64(d) * 0.5 * float64(b1-b0) / 64
+		for r := 0; r < cfg.CandidateRounds; r++ {
+			cand := int32(b0 + int(rng.SplitMix64(&state)%uint64(b1-b0)))
+			gains := make([]float64, rt.Workers())
+			rt.ParallelFor(b0, b1, cfg.Grain, func(ctx *charm.Ctx, i0, i1 int) {
+				// Shared read of the candidate row by every task.
+				ctx.Read(rowAddr(ctx, int(cand)), rowBytes)
+				ctx.Read(rowAddr(ctx, i0), int64(i1-i0)*rowBytes)
+				ctx.Read(aCost+charm.Addr(i0*8), int64(i1-i0)*8)
+				var g float64
+				for i := i0; i < i1; i++ {
+					if dc := dist(row(i), row(int(cand))); dc < assignCost[i] {
+						g += assignCost[i] - dc
+					}
+					ctx.Compute(int64(d)/4 + 1)
+					ctx.Yield()
+				}
+				gains[ctx.Worker()] += g
+			})
+			var gain float64
+			for _, g := range gains {
+				gain += g
+			}
+			if gain <= openCost {
+				continue
+			}
+			// Open the candidate: parallel reassignment.
+			centers = append(centers, cand)
+			rt.ParallelFor(b0, b1, cfg.Grain, func(ctx *charm.Ctx, i0, i1 int) {
+				ctx.Read(rowAddr(ctx, int(cand)), rowBytes)
+				ctx.Read(rowAddr(ctx, i0), int64(i1-i0)*rowBytes)
+				for i := i0; i < i1; i++ {
+					if dc := dist(row(i), row(int(cand))); dc < assignCost[i] {
+						assignCost[i] = dc
+						centerOf[i] = cand
+					}
+					ctx.Compute(int64(d)/4 + 1)
+					ctx.Yield()
+				}
+				ctx.Write(aCost+charm.Addr(i0*8), int64(i1-i0)*8)
+			})
+		}
+	}
+	res.Makespan = rt.Now() - start
+	res.Centers = len(centers)
+	var cost atomic.Uint64 // accumulate via integer micro-units
+	rt.ParallelFor(0, n, 1<<14, func(ctx *charm.Ctx, i0, i1 int) {
+		var s float64
+		for i := i0; i < i1; i++ {
+			s += assignCost[i]
+		}
+		cost.Add(uint64(s * 1e6))
+	})
+	res.FinalCost = float64(cost.Load()) / 1e6
+	return res
+}
