@@ -1,0 +1,35 @@
+# Developer entry points. The repository is pure Go with no dependencies;
+# everything below is plain toolchain invocations.
+
+GO ?= go
+
+.PHONY: build test verify bench trace metrics clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the pre-commit gate: vet, full build, the full test suite, and
+# the race detector on the concurrency-heavy packages (the sharded metrics
+# registry and the runtime core).
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/obs/... ./internal/core/...
+
+bench:
+	$(GO) test ./internal/core/ -run xxx -bench . -benchtime 1s
+
+# Observability smoke runs: a Chrome trace and a Prometheus metrics dump
+# from the quickstart workload.
+trace:
+	$(GO) run ./cmd/charm-obs trace -o trace.json
+
+metrics:
+	$(GO) run ./cmd/charm-obs metrics
+
+clean:
+	rm -f trace.json

@@ -29,10 +29,12 @@ package charm
 
 import (
 	"fmt"
+	"io"
 
 	"charm/internal/baselines"
 	"charm/internal/core"
 	"charm/internal/mem"
+	"charm/internal/obs"
 	"charm/internal/pmu"
 	"charm/internal/sim"
 	"charm/internal/topology"
@@ -136,10 +138,16 @@ type Config struct {
 	MLP int64
 }
 
+// MetricsSnapshot is a point-in-time merge of every registered metric.
+type MetricsSnapshot = obs.Snapshot
+
 // Runtime is an initialized CHARM runtime bound to one simulated machine.
 type Runtime struct {
 	rt *core.Runtime
 	m  *sim.Machine
+	// onFinalize runs at the start of Finalize, while metrics and the
+	// profiler are still live (the harness uses it to capture snapshots).
+	onFinalize func(*Runtime)
 }
 
 // Init validates the configuration, builds the simulated machine and the
@@ -212,7 +220,17 @@ func Init(cfg Config) (*Runtime, error) {
 }
 
 // Finalize stops the runtime — the CHARM_Finalize() of the paper's API.
-func (r *Runtime) Finalize() { r.rt.Stop() }
+func (r *Runtime) Finalize() {
+	if r.onFinalize != nil {
+		r.onFinalize(r)
+		r.onFinalize = nil
+	}
+	r.rt.Stop()
+}
+
+// SetFinalizeHook registers fn to run once at the start of Finalize,
+// before the workers stop (observability capture point).
+func (r *Runtime) SetFinalizeHook(fn func(*Runtime)) { r.onFinalize = fn }
 
 // Run executes fn as a root task and waits for it and all tasks it spawned.
 func (r *Runtime) Run(fn func(*Ctx)) Stats { return r.rt.Run(fn) }
@@ -275,6 +293,38 @@ func (r *Runtime) OwnerOf(addr Addr) int { return r.rt.OwnerOf(addr) }
 
 // EnableProfiler turns the time-series profiler on or off.
 func (r *Runtime) EnableProfiler(on bool) { r.rt.Profiler().Enable(on) }
+
+// EnableMetrics turns the virtual-time metrics registry on or off. The
+// registry covers every layer: task lifecycle counters and latency
+// histograms, fabric link occupancy, memory channel bandwidth, per-chiplet
+// L3 hit/evict rates, and the simulated PMU events.
+func (r *Runtime) EnableMetrics(on bool) { r.rt.EnableMetrics(on) }
+
+// MetricsRegistry exposes the runtime's metrics registry for custom
+// instrumentation or exporters.
+func (r *Runtime) MetricsRegistry() *obs.Registry { return r.rt.Metrics() }
+
+// MetricsSnapshot merges all metric shards at the current virtual time.
+func (r *Runtime) MetricsSnapshot() MetricsSnapshot { return r.rt.MetricsSnapshot() }
+
+// WriteMetricsPrometheus writes the current metrics snapshot in Prometheus
+// text exposition format.
+func (r *Runtime) WriteMetricsPrometheus(w io.Writer) error {
+	return obs.WritePrometheus(w, r.rt.MetricsSnapshot())
+}
+
+// WriteMetricsJSON writes the current metrics snapshot — including the
+// sampled time-series history of traced metrics — as indented JSON.
+func (r *Runtime) WriteMetricsJSON(w io.Writer) error {
+	return obs.WriteJSON(w, r.rt.MetricsSnapshot(), r.rt.Metrics().History())
+}
+
+// WriteChromeTrace exports the profiler's recorded data (counter tracks,
+// task-lifecycle spans, traced metric history) as a Chrome trace-event
+// JSON document; see Profiler.WriteChromeTrace.
+func (r *Runtime) WriteChromeTrace(w io.Writer) error {
+	return r.rt.Profiler().WriteChromeTrace(w)
+}
 
 // Engine exposes the underlying runtime for advanced integrations
 // (the harness and the workload drivers use it).

@@ -26,6 +26,7 @@ func main() {
 	sample := flag.Uint("sample", 0, "override cache sample shift")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	runs := flag.Int("runs", 1, "repeat measured cells and report mean±sd (fig7/fig8)")
+	metrics := flag.String("metrics", "", "capture a metrics document per runtime and write the JSON dump to FILE")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: charm-bench [flags] <experiment>|all")
@@ -48,6 +49,9 @@ func main() {
 	}
 	if *runs > 1 {
 		o.Runs = *runs
+	}
+	if *metrics != "" {
+		o.Obs = &harness.ObsSink{}
 	}
 
 	ids := []string{flag.Arg(0)}
@@ -72,5 +76,20 @@ func main() {
 		}
 		t.Fprint(os.Stdout)
 		fmt.Printf("# %s regenerated in %v (host time)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if o.Obs != nil {
+		o.Obs.Summary().Fprint(os.Stdout)
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := o.Obs.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("# wrote %d metrics captures to %s\n", o.Obs.Len(), *metrics)
 	}
 }

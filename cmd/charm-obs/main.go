@@ -1,0 +1,296 @@
+// Command charm-obs is the observability front-end: it runs a workload on
+// the simulated machine with the metrics registry and profiler enabled and
+// exports what they saw.
+//
+// Subcommands:
+//
+//	charm-obs trace   [-workers N] [-workload W] [-o trace.json]
+//	    Chrome trace-event JSON: per-task B/E spans, per-worker counter
+//	    tracks (spread_rate, fill rate, live tasks), migration instants,
+//	    and machine-level counter tracks for every traced metric (fabric
+//	    link occupancy, memory channel utilization). Load the output at
+//	    chrome://tracing or https://ui.perfetto.dev.
+//
+//	charm-obs metrics [-workers N] [-workload W] [-prom FILE] [-json FILE]
+//	    Final metrics snapshot. -prom writes Prometheus text exposition
+//	    format (default stdout, "-" for stdout); -json writes the JSON
+//	    document including the sampled history of traced metrics.
+//
+//	charm-obs top     [-workers N] [-workload W]
+//	    Per-chiplet summary table: L3 hit/evict rates, fill mix, and the
+//	    fabric/memory utilization peaks — a post-mortem `top` for the run.
+//
+// Workloads: quickstart (default; the examples/quickstart kernel), phases
+// (growing/shrinking working set), bfs (Kronecker graph BFS).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"charm"
+	"charm/internal/obs"
+	"charm/internal/workloads/graph"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "trace":
+		cmdTrace(os.Args[2:])
+	case "metrics":
+		cmdMetrics(os.Args[2:])
+	case "top":
+		cmdTop(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "charm-obs: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: charm-obs <trace|metrics|top> [flags]
+
+  trace    write a Chrome trace-event JSON file (task spans + counter tracks)
+  metrics  write the final metrics snapshot (Prometheus text and/or JSON)
+  top      print a per-chiplet summary table
+
+Common flags: -workers N, -workload quickstart|phases|bfs
+Run 'charm-obs <subcommand> -h' for subcommand flags.
+`)
+}
+
+// commonFlags registers the flags every subcommand shares.
+func commonFlags(fs *flag.FlagSet) (workers *int, workload *string) {
+	workers = fs.Int("workers", 16, "worker count")
+	workload = fs.String("workload", "quickstart", "workload: quickstart, phases, or bfs")
+	return
+}
+
+// runWorkload initializes a runtime with observability on, executes the
+// named workload, and returns the runtime still live (caller finalizes).
+func runWorkload(workers int, workload string) *charm.Runtime {
+	rt, err := charm.Init(charm.Config{
+		Workers:        workers,
+		CacheScale:     256,
+		SchedulerTimer: 25_000,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rt.EnableProfiler(true)
+	rt.EnableMetrics(true)
+
+	switch workload {
+	case "quickstart":
+		// The examples/quickstart kernel: private-segment writes then a
+		// shared full scan, so both local and cross-chiplet traffic show up.
+		const size = 1 << 20
+		data := rt.Alloc(size)
+		seg := int64(size / rt.Workers())
+		rt.AllDo(func(ctx *charm.Ctx) {
+			own := data + charm.Addr(int64(ctx.Worker())*seg)
+			ctx.Write(own, seg)
+			ctx.Read(data, size)
+			ctx.Yield()
+		})
+	case "phases":
+		l3 := rt.Topology().L3PerChiplet
+		for _, size := range []int64{l3 / 2, 8 * l3, l3 / 2} {
+			data := rt.AllocPolicy(size, charm.FirstTouch, 0)
+			seg := size / int64(rt.Workers())
+			rt.AllDo(func(ctx *charm.Ctx) {
+				own := data + charm.Addr(int64(ctx.Worker())*seg)
+				for r := 0; r < 800; r++ {
+					ctx.Read(own, seg)
+					ctx.Write(own, seg)
+					ctx.Yield()
+				}
+			})
+			rt.Free(data)
+		}
+	case "bfs":
+		g := graph.Kronecker(graph.GenConfig{LogVertices: 13, EdgeFactor: 16, Seed: 42})
+		b := graph.Bind(rt, g, 128)
+		b.BFS(0)
+	default:
+		fmt.Fprintf(os.Stderr, "charm-obs: unknown workload %q\n", workload)
+		os.Exit(2)
+	}
+	return rt
+}
+
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("charm-obs trace", flag.ExitOnError)
+	workers, workload := commonFlags(fs)
+	out := fs.String("o", "trace.json", "output file")
+	fs.Parse(args)
+
+	rt := runWorkload(*workers, *workload)
+	defer rt.Finalize()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := rt.WriteChromeTrace(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d tasks, %d migrations, final virtual time %.3f ms)\n",
+		*out, rt.Counter(charm.TaskRun), rt.Counter(charm.Migration),
+		float64(rt.Now())/1e6)
+}
+
+func cmdMetrics(args []string) {
+	fs := flag.NewFlagSet("charm-obs metrics", flag.ExitOnError)
+	workers, workload := commonFlags(fs)
+	prom := fs.String("prom", "-", `Prometheus text output file ("-" = stdout, "" = skip)`)
+	jsonOut := fs.String("json", "", `JSON output file ("-" = stdout, "" = skip)`)
+	fs.Parse(args)
+
+	rt := runWorkload(*workers, *workload)
+	defer rt.Finalize()
+
+	if *prom != "" {
+		if err := writeTo(*prom, rt.WriteMetricsPrometheus); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeTo(*jsonOut, rt.WriteMetricsJSON); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func cmdTop(args []string) {
+	fs := flag.NewFlagSet("charm-obs top", flag.ExitOnError)
+	workers, workload := commonFlags(fs)
+	fs.Parse(args)
+
+	rt := runWorkload(*workers, *workload)
+	defer rt.Finalize()
+	snap := rt.MetricsSnapshot()
+
+	fmt.Printf("virtual time %.3f ms, %d workers, workload %s\n\n",
+		float64(snap.T)/1e6, *workers, *workload)
+
+	// Per-chiplet table from the chiplet-labelled samples.
+	type row struct {
+		hits, misses, evicts       float64
+		fillLocal, fillRemote, dram float64
+	}
+	rows := map[int]*row{}
+	chip := func(s *obs.Sample) (*row, bool) {
+		c, ok := s.Labels["chiplet"]
+		if !ok {
+			return nil, false
+		}
+		n, err := strconv.Atoi(c)
+		if err != nil {
+			return nil, false
+		}
+		r := rows[n]
+		if r == nil {
+			r = &row{}
+			rows[n] = r
+		}
+		return r, true
+	}
+	for i := range snap.Samples {
+		s := &snap.Samples[i]
+		r, ok := chip(s)
+		if !ok {
+			continue
+		}
+		switch s.Name {
+		case "charm_l3_hits_total":
+			r.hits = s.Value
+		case "charm_l3_misses_total":
+			r.misses = s.Value
+		case "charm_l3_evictions_total":
+			r.evicts = s.Value
+		case "charm_pmu_fill_l3_local_total":
+			r.fillLocal = s.Value
+		case "charm_pmu_fill_l3_remote_near_total",
+			"charm_pmu_fill_l3_remote_far_total",
+			"charm_pmu_fill_l3_remote_socket_total":
+			r.fillRemote += s.Value
+		case "charm_pmu_fill_dram_local_total", "charm_pmu_fill_dram_remote_total":
+			r.dram += s.Value
+		}
+	}
+	ids := make([]int, 0, len(rows))
+	for id := range rows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Println("chiplet   l3-hits  l3-miss  hit%   evicts  fill-l3-local  fill-l3-remote  fill-dram")
+	for _, id := range ids {
+		r := rows[id]
+		hitPct := 0.0
+		if r.hits+r.misses > 0 {
+			hitPct = 100 * r.hits / (r.hits + r.misses)
+		}
+		fmt.Printf("%7d %9.0f %8.0f %5.1f %8.0f %14.0f %15.0f %10.0f\n",
+			id, r.hits, r.misses, hitPct, r.evicts, r.fillLocal, r.fillRemote, r.dram)
+	}
+
+	// Utilization gauges (fabric links, memory channels) at snapshot time.
+	var utils []string
+	for i := range snap.Samples {
+		s := &snap.Samples[i]
+		if s.Name == "charm_fabric_occupancy" || s.Name == "charm_mem_bandwidth_util" {
+			if s.Value > 0 {
+				utils = append(utils, fmt.Sprintf("  %-28s %.3f", s.Key(), s.Value))
+			}
+		}
+	}
+	if len(utils) > 0 {
+		fmt.Println("\nnon-idle fabric/memory utilization at snapshot:")
+		fmt.Println(strings.Join(utils, "\n"))
+	}
+
+	// Task latency summary from the histogram.
+	for i := range snap.Samples {
+		s := &snap.Samples[i]
+		if s.Name == "charm_task_latency_ns" && s.Hist != nil && s.Hist.Count > 0 {
+			fmt.Printf("\ntasks: %d, mean latency %.0f ns\n",
+				s.Hist.Count, float64(s.Hist.Sum)/float64(s.Hist.Count))
+		}
+	}
+}
+
+// writeTo opens path ("-" = stdout) and applies write.
+func writeTo(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -38,6 +38,7 @@ type Cache struct {
 
 	hits   atomic.Int64
 	misses atomic.Int64
+	evicts atomic.Int64
 }
 
 // New builds a cache of capacityBytes with the given associativity,
@@ -136,6 +137,7 @@ func (c *Cache) Insert(line uint64, now int64) (evicted uint64, ok bool) {
 	if old == 0 {
 		return 0, false
 	}
+	c.evicts.Add(1)
 	return old - 1, true
 }
 
@@ -161,12 +163,16 @@ func (c *Cache) Clear() {
 	}
 	c.hits.Store(0)
 	c.misses.Store(0)
+	c.evicts.Store(0)
 }
 
 // Stats returns the lookup hit/miss counters.
 func (c *Cache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
+
+// Evictions returns the number of capacity evictions since Clear.
+func (c *Cache) Evictions() int64 { return c.evicts.Load() }
 
 // Sets returns the number of simulated sets. Ways returns associativity.
 func (c *Cache) Sets() int { return c.numSets }

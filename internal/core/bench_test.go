@@ -32,6 +32,23 @@ func BenchmarkTaskSpawnExecute(b *testing.B) {
 	b.ReportMetric(float64(rt.Now()-start)/tasks*8, "virtual_ns/task")
 }
 
+// BenchmarkTaskSpawnExecuteMetrics measures the instrumentation overhead
+// on the core task-throughput path: "off" is the always-on counter cost
+// (registry disabled), "on" adds histogram observes, span recording, and
+// periodic sampling. Compare against BenchmarkTaskSpawnExecute's ns/op.
+func BenchmarkTaskSpawnExecuteMetrics(b *testing.B) {
+	run := func(b *testing.B, metrics, profiler bool) {
+		rt := benchRT(b, 8)
+		rt.EnableMetrics(metrics)
+		rt.Profiler().Enable(profiler)
+		b.ResetTimer()
+		rt.ParallelFor(0, b.N, 64, func(ctx *Ctx, i0, i1 int) {})
+	}
+	b.Run("off", func(b *testing.B) { run(b, false, false) })
+	b.Run("on", func(b *testing.B) { run(b, true, false) })
+	b.Run("on+spans", func(b *testing.B) { run(b, true, true) })
+}
+
 func BenchmarkCoroutineSwitch(b *testing.B) {
 	rt := benchRT(b, 1)
 	w := rt.Worker(0)

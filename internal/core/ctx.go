@@ -110,6 +110,7 @@ func (c *Ctx) Yield() {
 func (c *Ctx) Spawn(fn func(*Ctx)) {
 	t := c.w.rt.newTask(fn, c.task.grp, c.w.clock.Now(), false, c.w.id)
 	c.task.grp.add(1)
+	c.w.rt.met.spawns.Inc(c.w.id)
 	c.w.deque.Push(t)
 }
 
@@ -117,6 +118,7 @@ func (c *Ctx) Spawn(fn func(*Ctx)) {
 func (c *Ctx) SpawnCo(fn func(*Ctx)) {
 	t := c.w.rt.newTask(fn, c.task.grp, c.w.clock.Now(), true, c.w.id)
 	c.task.grp.add(1)
+	c.w.rt.met.spawns.Inc(c.w.id)
 	c.w.deque.Push(t)
 }
 
@@ -135,6 +137,9 @@ func (c *Ctx) CallAsync(target int, fn func(*Ctx)) {
 	delay := rt.M.Fabric.MessageDelay(c.w.Core(), tw.Core(), c.w.clock.Now(), 64)
 	t := rt.newTask(fn, c.task.grp, c.w.clock.Now()+delay, false, target)
 	t.pinned = true
+	t.delegated = true
+	t.hops = c.task.hops + 1
+	rt.met.delegations.Inc(c.w.id)
 	c.task.grp.add(1)
 	tw.inbox.Put(t)
 }
@@ -161,6 +166,9 @@ func (c *Ctx) Call(target int, fn func(*Ctx)) {
 	t.pinned = true
 	t.grp = nil
 	t.onDone = g
+	t.delegated = true
+	t.hops = c.task.hops + 1
+	rt.met.delegations.Inc(c.w.id)
 	tw.inbox.Put(t)
 	if c.co != nil {
 		// Coroutine: suspend between polls; the worker keeps scheduling.

@@ -84,6 +84,9 @@ func (c *Ctx) DelegateBatch(addrs []mem.Addr, fns []func(*Ctx)) {
 			}
 		}, c.task.grp, c.w.clock.Now()+delay, false, owner)
 		t.pinned = true
+		t.delegated = true
+		t.hops = c.task.hops + 1
+		rt.met.delegations.Inc(c.w.id)
 		c.task.grp.add(1)
 		tw.inbox.Put(t)
 	}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"charm/internal/obs"
+)
+
+// latencyBounds are the fixed histogram buckets for task latencies, in
+// virtual nanoseconds: roughly logarithmic from sub-µs task bodies to
+// second-scale phases.
+var latencyBounds = []int64{
+	500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000,
+	100_000, 200_000, 500_000, 1_000_000, 2_000_000, 5_000_000,
+	10_000_000, 100_000_000, 1_000_000_000,
+}
+
+// rtMetrics bundles the runtime's hot-path metric handles. Every handle
+// is sharded per worker, so recording never contends across workers, and
+// gated on the registry's enabled flag, so a disabled registry costs one
+// atomic load per record.
+type rtMetrics struct {
+	reg *obs.Registry
+
+	tasks        *obs.Counter
+	spawns       *obs.Counter
+	steals       *obs.Counter
+	remoteSteals *obs.Counter
+	migrations   *obs.Counter
+	delegations  *obs.Counter
+	// taskLatency measures enqueue→completion; taskExec measures first
+	// execution→completion (the queueing-free residence time).
+	taskLatency *obs.Histogram
+	taskExec    *obs.Histogram
+}
+
+// newRTMetrics builds the registry (one shard per worker) and the
+// runtime-level instruments, and registers snapshot-time funcs for
+// scheduler state (live tasks, per-worker spread rate and placement).
+func newRTMetrics(rt *Runtime, workers int) *rtMetrics {
+	reg := obs.NewRegistry(workers)
+	m := &rtMetrics{
+		reg: reg,
+		tasks: reg.Counter("charm_tasks_total",
+			"Tasks executed to completion.", nil),
+		spawns: reg.Counter("charm_task_spawns_total",
+			"Tasks spawned from within running tasks.", nil),
+		steals: reg.Counter("charm_steals_total",
+			"Successful steals.", nil),
+		remoteSteals: reg.Counter("charm_steals_remote_chiplet_total",
+			"Steals that crossed a chiplet boundary.", nil),
+		migrations: reg.Counter("charm_migrations_total",
+			"Alg. 2 worker core re-assignments.", nil),
+		delegations: reg.Counter("charm_delegations_total",
+			"Tasks shipped via Call/CallAsync/Delegate.", nil),
+		taskLatency: reg.Histogram("charm_task_latency_ns",
+			"Virtual ns from task enqueue to completion.", nil, latencyBounds),
+		taskExec: reg.Histogram("charm_task_exec_ns",
+			"Virtual ns from first execution to completion.", nil, latencyBounds),
+	}
+	reg.Func("charm_live_tasks", "Currently executing or suspended tasks.",
+		obs.KindGauge, nil, func(int64) float64 { return float64(rt.liveTasks.Load()) },
+		obs.Traced())
+	return m
+}
+
+// Metrics returns the runtime's metrics registry (disabled by default;
+// see EnableMetrics).
+func (rt *Runtime) Metrics() *obs.Registry { return rt.met.reg }
+
+// EnableMetrics turns metric recording on or off. Enabling also starts
+// virtual-time periodic sampling of traced metrics at the scheduler-timer
+// interval, which feeds the Chrome trace's counter tracks and the JSON
+// history.
+func (rt *Runtime) EnableMetrics(on bool) {
+	if on {
+		rt.met.reg.EnableSampling(rt.opts.SchedulerTimer, 4096)
+	} else {
+		rt.met.reg.EnableSampling(0, 0)
+	}
+	rt.met.reg.SetEnabled(on)
+}
+
+// MetricsSnapshot merges every metric at the fleet's current maximum
+// virtual time (so window-based occupancy gauges read the live window).
+func (rt *Runtime) MetricsSnapshot() obs.Snapshot {
+	now := rt.MaxWorkerClock()
+	if p := rt.phase.Load(); p > now {
+		now = p
+	}
+	return rt.met.reg.Snapshot(now)
+}

@@ -3,6 +3,9 @@ package core
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"charm/internal/obs"
 )
 
 // ProfSeries identifies a profiler time series.
@@ -28,37 +31,83 @@ type ProfSample struct {
 	V      int64
 }
 
-// Profiler records low-overhead time series for post-run analysis — the
-// performance profiler component ① of the CHARM architecture. Disabled by
-// default; recording costs one mutex acquisition per decision interval,
-// which is far off the access fast path.
+// TaskSpan is the lifecycle record of one finished task: enqueue → first
+// execution → completion, with its steal and delegation provenance.
+type TaskSpan struct {
+	// ID is the runtime-wide task sequence number.
+	ID uint64
+	// Home is the worker the task was submitted to; Worker is the one
+	// that completed it (they differ after a steal).
+	Home, Worker int
+	// Enqueue, Start, End are virtual times: submission stamp, first
+	// execution, completion.
+	Enqueue, Start, End int64
+	// Steals counts how many times the task changed workers via
+	// stealing (a coroutine can migrate more than once).
+	Steals int
+	// Remote marks a steal that crossed a chiplet boundary.
+	Remote bool
+	// Delegated marks tasks shipped by Call/CallAsync/Delegate; Hops is
+	// the delegation depth (1 for a direct delegation).
+	Delegated bool
+	Hops      int
+}
+
+// Profiler records low-overhead time series and task-lifecycle spans for
+// post-run analysis — the performance profiler component ① of the CHARM
+// architecture. Disabled by default; when disabled, Record and RecordSpan
+// cost one atomic load and take no lock.
 type Profiler struct {
+	enabled atomic.Bool
 	mu      sync.Mutex
-	enabled bool
 	series  [numProfSeries][]ProfSample
+	spans   []TaskSpan
+	// reg, when attached, contributes its sampled history to the Chrome
+	// trace as counter tracks (fabric links, memory channels).
+	reg *obs.Registry
 }
 
 // NewProfiler returns a disabled profiler.
 func NewProfiler() *Profiler { return &Profiler{} }
 
+// AttachRegistry links a metrics registry whose periodic samples become
+// counter tracks in WriteChromeTrace.
+func (p *Profiler) AttachRegistry(r *obs.Registry) { p.reg = r }
+
 // Enable turns recording on or off and clears recorded data when enabling.
 func (p *Profiler) Enable(on bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.enabled = on
 	if on {
 		for i := range p.series {
 			p.series[i] = nil
 		}
+		p.spans = nil
 	}
+	p.enabled.Store(on)
 }
 
-// Record appends one observation if the profiler is enabled.
+// Enabled reports whether the profiler is recording.
+func (p *Profiler) Enabled() bool { return p.enabled.Load() }
+
+// Record appends one observation if the profiler is enabled. The disabled
+// path is a single atomic load — cheap enough for every decision interval.
 func (p *Profiler) Record(s ProfSeries, worker int, t, v int64) {
-	p.mu.Lock()
-	if p.enabled {
-		p.series[s] = append(p.series[s], ProfSample{Worker: worker, T: t, V: v})
+	if !p.enabled.Load() {
+		return
 	}
+	p.mu.Lock()
+	p.series[s] = append(p.series[s], ProfSample{Worker: worker, T: t, V: v})
+	p.mu.Unlock()
+}
+
+// RecordSpan appends one task-lifecycle span if the profiler is enabled.
+func (p *Profiler) RecordSpan(s TaskSpan) {
+	if !p.enabled.Load() {
+		return
+	}
+	p.mu.Lock()
+	p.spans = append(p.spans, s)
 	p.mu.Unlock()
 }
 
@@ -69,6 +118,22 @@ func (p *Profiler) Samples(s ProfSeries) []ProfSample {
 	out := make([]ProfSample, len(p.series[s]))
 	copy(out, p.series[s])
 	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// Spans returns a copy of the recorded task spans sorted by start time
+// (ties broken by ID so the order is deterministic).
+func (p *Profiler) Spans() []TaskSpan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]TaskSpan, len(p.spans))
+	copy(out, p.spans)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
 	return out
 }
 

@@ -129,6 +129,7 @@ type Runtime struct {
 	liveTasks atomic.Int64
 
 	prof *Profiler
+	met  *rtMetrics
 }
 
 // NewRuntime builds a runtime on machine m. It panics on invalid options
@@ -193,6 +194,12 @@ func NewRuntime(m *sim.Machine, opts Options) *Runtime {
 		coresByDistance: rankCores(m.Topo),
 		prof:            NewProfiler(),
 	}
+	// The observability layer: a per-worker-sharded registry covering the
+	// runtime and the whole simulated machine, attached to the profiler
+	// so traces can include counter tracks.
+	rt.met = newRTMetrics(rt, opts.Workers)
+	m.Instrument(rt.met.reg)
+	rt.prof.AttachRegistry(rt.met.reg)
 	for i := range rt.workerOnCore {
 		rt.workerOnCore[i].Store(-1)
 	}
@@ -335,16 +342,27 @@ type Task struct {
 	home   int // worker the task was submitted to
 	// onDone signals a synchronous Call's completion (nil otherwise).
 	onDone *callGroup
+
+	// Lifecycle-span state (read by the profiler at completion). startT
+	// is the virtual time of the first execution (-1 until then);
+	// stealCount/remoteStolen record steal provenance; delegated/hops
+	// record the delegation chain depth.
+	startT       int64
+	stealCount   int32
+	remoteStolen bool
+	delegated    bool
+	hops         int32
 }
 
 func (rt *Runtime) newTask(fn func(*Ctx), g *group, stamp int64, coro bool, home int) *Task {
 	return &Task{
-		id:    rt.taskSeq.Add(1),
-		fn:    fn,
-		grp:   g,
-		stamp: stamp,
-		coro:  coro,
-		home:  home,
+		id:     rt.taskSeq.Add(1),
+		fn:     fn,
+		grp:    g,
+		stamp:  stamp,
+		coro:   coro,
+		home:   home,
+		startT: -1,
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"charm/internal/obs"
 )
 
 func TestWriteChromeTrace(t *testing.T) {
@@ -52,6 +54,193 @@ func TestWriteChromeTrace(t *testing.T) {
 	// Timestamps are microseconds.
 	if doc.TraceEvents[0].TS != 1.0 {
 		t.Errorf("first ts = %f, want 1.0 µs", doc.TraceEvents[0].TS)
+	}
+}
+
+// chromeDoc mirrors the emitted trace document for round-trip decoding.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name  string             `json:"name"`
+		Phase string             `json:"ph"`
+		TS    float64            `json:"ts"`
+		PID   int                `json:"pid"`
+		TID   int                `json:"tid"`
+		Args  map[string]float64 `json:"args"`
+	} `json:"traceEvents"`
+	DisplayUnit string `json:"displayTimeUnit"`
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	p := NewProfiler()
+	p.Enable(true)
+	// Profiler series: 3 counter samples + 1 migration instant.
+	p.Record(ProfSpread, 0, 1000, 2)
+	p.Record(ProfSpread, 1, 2000, 4)
+	p.Record(ProfFillRate, 0, 1500, 77)
+	p.Record(ProfMigration, 1, 2500, 9)
+	// Task spans: plain, stolen, delegated, and zero-duration.
+	p.RecordSpan(TaskSpan{ID: 1, Home: 0, Worker: 0, Enqueue: 100, Start: 200, End: 900})
+	p.RecordSpan(TaskSpan{ID: 2, Home: 0, Worker: 1, Enqueue: 100, Start: 300, End: 800, Steals: 1, Remote: true})
+	p.RecordSpan(TaskSpan{ID: 3, Home: 1, Worker: 1, Enqueue: 500, Start: 1200, End: 1400, Delegated: true, Hops: 2})
+	p.RecordSpan(TaskSpan{ID: 4, Home: 0, Worker: 2, Enqueue: 50, Start: 600, End: 600})
+	// Registry history: one traced gauge sampled twice.
+	reg := obs.NewRegistry(1)
+	reg.SetEnabled(true)
+	reg.EnableSampling(1000, 16)
+	g := reg.Gauge("charm_test_util", "test", obs.Labels{"link": "ccd0"}, obs.Traced())
+	g.Set(0, 3)
+	if !reg.MaybeSample(1000) {
+		t.Fatal("first MaybeSample must fire")
+	}
+	g.Set(0, 7)
+	if !reg.MaybeSample(2500) {
+		t.Fatal("second MaybeSample must fire")
+	}
+	p.AttachRegistry(reg)
+
+	var buf bytes.Buffer
+	if err := p.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+
+	// 3 profiler counters + 1 instant + 4 B/E pairs + 2 history counters.
+	if want := 3 + 1 + 8 + 2; len(doc.TraceEvents) != want {
+		t.Fatalf("events = %d, want %d", len(doc.TraceEvents), want)
+	}
+	var b, e, c, inst int
+	open := map[int]int{} // tid -> nesting depth
+	lastTS := -1.0
+	for _, ev := range doc.TraceEvents {
+		if ev.TS < lastTS {
+			t.Fatalf("events not sorted by ts: %v after %v", ev.TS, lastTS)
+		}
+		lastTS = ev.TS
+		switch ev.Phase {
+		case "B":
+			b++
+			open[ev.TID]++
+		case "E":
+			e++
+			open[ev.TID]--
+			if open[ev.TID] < 0 {
+				t.Fatalf("E without matching B on tid %d at ts %v", ev.TID, ev.TS)
+			}
+		case "C":
+			c++
+			if _, ok := ev.Args["value"]; !ok {
+				t.Errorf("counter %q lacks args.value", ev.Name)
+			}
+		case "i":
+			inst++
+		}
+	}
+	if b != 4 || e != 4 || c != 5 || inst != 1 {
+		t.Fatalf("phase counts B=%d E=%d C=%d i=%d, want 4/4/5/1", b, e, c, inst)
+	}
+	for tid, d := range open {
+		if d != 0 {
+			t.Errorf("tid %d has %d unclosed spans", tid, d)
+		}
+	}
+
+	// Span names and args reflect provenance.
+	byID := map[float64]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "B" {
+			byID[ev.Args["id"]] = ev.Name
+			switch ev.Args["id"] {
+			case 2:
+				if ev.Args["steals"] != 1 || ev.Args["remote_steal"] != 1 {
+					t.Errorf("stolen span args = %v", ev.Args)
+				}
+			case 3:
+				if ev.Args["hops"] != 2 {
+					t.Errorf("delegated span args = %v", ev.Args)
+				}
+			}
+		}
+	}
+	if byID[1] != "task" || byID[2] != "task-stolen" || byID[3] != "delegate" {
+		t.Errorf("span names = %v", byID)
+	}
+
+	// The registry history shows up as pid-1 counter tracks with both
+	// sampled values.
+	var histVals []float64
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "C" && ev.PID == 1 {
+			if ev.Name != `charm_test_util{link=ccd0}` {
+				t.Errorf("history track name = %q", ev.Name)
+			}
+			histVals = append(histVals, ev.Args["value"])
+		}
+	}
+	if len(histVals) != 2 || histVals[0] != 3 || histVals[1] != 7 {
+		t.Errorf("history values = %v, want [3 7]", histVals)
+	}
+
+	// The zero-duration span is padded: its E strictly follows its B.
+	var zb, ze float64
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "B" && ev.Args["id"] == 4 {
+			zb = ev.TS
+		}
+		if ev.Phase == "E" && ev.TID == 2 {
+			ze = ev.TS
+		}
+	}
+	if ze <= zb {
+		t.Errorf("zero-duration span not padded: B=%v E=%v", zb, ze)
+	}
+}
+
+// TestRuntimeSpansAndMetrics drives a real workload and checks that the
+// instrumentation layers light up end to end.
+func TestRuntimeSpansAndMetrics(t *testing.T) {
+	rt := newTestRT(t, 4)
+	rt.Profiler().Enable(true)
+	rt.EnableMetrics(true)
+	const spawned = 32
+	rt.Run(func(ctx *Ctx) {
+		for i := 0; i < spawned; i++ {
+			ctx.Spawn(func(c *Ctx) {
+				c.Compute(5_000)
+				c.Yield()
+			})
+		}
+	})
+	rt.Stop()
+
+	spans := rt.Profiler().Spans()
+	if len(spans) != spawned+1 {
+		t.Fatalf("spans = %d, want %d", len(spans), spawned+1)
+	}
+	for _, s := range spans {
+		if s.End < s.Start || s.Start < s.Enqueue {
+			t.Fatalf("inconsistent span %+v", s)
+		}
+	}
+
+	snap := rt.MetricsSnapshot()
+	tasks := snap.Find("charm_tasks_total", nil)
+	if tasks == nil || tasks.Value != spawned+1 {
+		t.Fatalf("charm_tasks_total = %v, want %d", tasks, spawned+1)
+	}
+	lat := snap.Find("charm_task_latency_ns", nil)
+	if lat == nil || lat.Hist == nil || lat.Hist.Count != spawned+1 {
+		t.Fatalf("charm_task_latency_ns missing or short: %v", lat)
+	}
+	if sp := snap.Find("charm_task_spawns_total", nil); sp == nil || sp.Value != spawned {
+		t.Fatalf("charm_task_spawns_total = %v, want %d", sp, spawned)
+	}
+	// The exec-time histogram must account at least the charged compute.
+	exec := snap.Find("charm_task_exec_ns", nil)
+	if exec == nil || exec.Hist == nil || exec.Hist.Sum < spawned*5_000 {
+		t.Fatalf("charm_task_exec_ns too small: %v", exec)
 	}
 }
 

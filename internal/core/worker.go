@@ -124,6 +124,7 @@ func (w *Worker) Migrate(c topology.CoreID) {
 	w.allocNode = w.rt.M.Topo.NodeOfCore(c)
 	w.clock.Advance(w.rt.M.Topo.Cost.ThreadSwitch)
 	w.rt.M.PMU.Add(int(c), pmu.Migration, 1)
+	w.rt.met.migrations.Inc(w.id)
 	w.rt.placeEpoch.Add(1)
 	w.settleUntil = w.clock.Now() + 2*w.rt.opts.SchedulerTimer
 	w.rt.prof.Record(ProfMigration, w.id, w.clock.Now(), int64(c))
@@ -225,6 +226,7 @@ func (w *Worker) idleDrift() {
 	// tasks of its own.
 	if t-w.lastSample >= w.rt.opts.SchedulerTimer {
 		w.sampleConcurrency(t)
+		w.rt.met.reg.MaybeSample(t)
 	}
 }
 
@@ -273,8 +275,12 @@ func (w *Worker) steal() *Task {
 		vc := v.Core()
 		w.clock.Advance(topo.Cost.StealPenalty + topo.CASLatency(self, vc))
 		w.rt.M.PMU.Add(int(self), pmu.TaskSteal, 1)
+		w.rt.met.steals.Inc(w.id)
+		t.stealCount++
 		if topo.ChipletOf(self) != topo.ChipletOf(vc) {
 			w.rt.M.PMU.Add(int(self), pmu.StealRemoteChiplet, 1)
+			w.rt.met.remoteSteals.Inc(w.id)
+			t.remoteStolen = true
 		}
 		return t
 	}
@@ -298,6 +304,9 @@ func (w *Worker) execute(t *Task) {
 		}
 		w.rt.liveTasks.Add(1)
 	}
+	if t.startT < 0 {
+		t.startT = w.clock.Now()
+	}
 	if t.coro {
 		w.runCoroutine(t)
 	} else {
@@ -309,13 +318,25 @@ func (w *Worker) execute(t *Task) {
 }
 
 func (w *Worker) finishTask(t *Task) {
+	now := w.clock.Now()
 	w.rt.M.PMU.Add(int(w.Core()), pmu.TaskRun, 1)
 	w.rt.liveTasks.Add(-1)
+	w.rt.met.tasks.Inc(w.id)
+	w.rt.met.taskLatency.Observe(w.id, now-t.stamp)
+	w.rt.met.taskExec.Observe(w.id, now-t.startT)
+	if w.rt.prof.Enabled() {
+		w.rt.prof.RecordSpan(TaskSpan{
+			ID: t.id, Home: t.home, Worker: w.id,
+			Enqueue: t.stamp, Start: t.startT, End: now,
+			Steals: int(t.stealCount), Remote: t.remoteStolen,
+			Delegated: t.delegated, Hops: int(t.hops),
+		})
+	}
 	if t.grp != nil {
-		t.grp.taskDone(w.clock.Now())
+		t.grp.taskDone(now)
 	}
 	if t.onDone != nil {
-		t.onDone.finish.Store(w.clock.Now())
+		t.onDone.finish.Store(now)
 		t.onDone.done.Store(true)
 	}
 }
@@ -334,6 +355,7 @@ func (w *Worker) maybeTick() {
 		return
 	}
 	w.sampleConcurrency(now)
+	w.rt.met.reg.MaybeSample(now)
 	w.rt.opts.Policy.OnTimer(w, now-w.lastDecision)
 	w.lastDecision = now
 	w.lastFills = w.rt.M.PMU.FillsFromSystem(int(w.Core()))

@@ -6,9 +6,19 @@
 package fabric
 
 import (
+	"strconv"
+
 	"charm/internal/mem"
+	"charm/internal/obs"
 	"charm/internal/topology"
 )
+
+// linkMetrics are one link's observability handles (zero-valued when the
+// fabric is not instrumented).
+type linkMetrics struct {
+	bytes *obs.Counter
+	delay *obs.Counter
+}
 
 // Fabric tracks bandwidth usage of every interconnect link.
 type Fabric struct {
@@ -17,6 +27,10 @@ type Fabric struct {
 	chipletLinks []*mem.TokenBucket
 	// socketLinks[s] is socket s's external (xGMI/UPI) link.
 	socketLinks []*mem.TokenBucket
+
+	// Per-link telemetry, nil until Instrument.
+	chipletMet []linkMetrics
+	socketMet  []linkMetrics
 }
 
 // New builds the link buckets for a machine.
@@ -33,6 +47,54 @@ func New(t *topology.Topology, windowNS int64) *Fabric {
 	return f
 }
 
+// Instrument registers per-link telemetry with reg: cumulative bytes and
+// queueing delay counters plus a snapshot-time occupancy gauge for every
+// chiplet link (ccdN) and socket link (socketN).
+func (f *Fabric) Instrument(reg *obs.Registry) {
+	instrument := func(buckets []*mem.TokenBucket, prefix string) []linkMetrics {
+		met := make([]linkMetrics, len(buckets))
+		for i, bucket := range buckets {
+			l := obs.Labels{"link": prefix + strconv.Itoa(i)}
+			met[i] = linkMetrics{
+				bytes: reg.Counter("charm_fabric_bytes_total",
+					"Bytes charged against the fabric link.", l),
+				delay: reg.Counter("charm_fabric_queue_delay_ns_total",
+					"Virtual ns of fabric queueing delay absorbed by accessors.", l),
+			}
+			reg.Func("charm_fabric_occupancy",
+				"Current-window link occupancy (>1 = oversubscribed).",
+				obs.KindGauge, l, bucket.Utilization, obs.Traced())
+		}
+		return met
+	}
+	f.chipletMet = instrument(f.chipletLinks, "ccd")
+	f.socketMet = instrument(f.socketLinks, "socket")
+}
+
+// chargeChiplet charges one chiplet link and records its telemetry.
+func (f *Fabric) chargeChiplet(ch topology.ChipletID, t, bytes int64) int64 {
+	d := f.chipletLinks[ch].Charge(t, bytes)
+	if f.chipletMet != nil {
+		f.chipletMet[ch].bytes.Add(0, bytes)
+		if d > 0 {
+			f.chipletMet[ch].delay.Add(0, d)
+		}
+	}
+	return d
+}
+
+// chargeSocket charges one socket link and records its telemetry.
+func (f *Fabric) chargeSocket(s topology.SocketID, t, bytes int64) int64 {
+	d := f.socketLinks[s].Charge(t, bytes)
+	if f.socketMet != nil {
+		f.socketMet[s].bytes.Add(0, bytes)
+		if d > 0 {
+			f.socketMet[s].delay.Add(0, d)
+		}
+	}
+	return d
+}
+
 // ChargeTransfer accounts a cache-to-cache transfer of bytes from chiplet
 // src to chiplet dst at time t and returns the queueing delay. Transfers
 // within one chiplet are free (they stay inside the CCX).
@@ -40,17 +102,17 @@ func (f *Fabric) ChargeTransfer(src, dst topology.ChipletID, t, bytes int64) int
 	if src == dst {
 		return 0
 	}
-	d := f.chipletLinks[src].Charge(t, bytes)
-	if d2 := f.chipletLinks[dst].Charge(t, bytes); d2 > d {
+	d := f.chargeChiplet(src, t, bytes)
+	if d2 := f.chargeChiplet(dst, t, bytes); d2 > d {
 		d = d2
 	}
 	ss := f.topo.SocketOfNode(f.topo.NodeOfChiplet(src))
 	ds := f.topo.SocketOfNode(f.topo.NodeOfChiplet(dst))
 	if ss != ds {
-		if d2 := f.socketLinks[ss].Charge(t, bytes); d2 > d {
+		if d2 := f.chargeSocket(ss, t, bytes); d2 > d {
 			d = d2
 		}
-		if d2 := f.socketLinks[ds].Charge(t, bytes); d2 > d {
+		if d2 := f.chargeSocket(ds, t, bytes); d2 > d {
 			d = d2
 		}
 	}
@@ -60,14 +122,14 @@ func (f *Fabric) ChargeTransfer(src, dst topology.ChipletID, t, bytes int64) int
 // ChargeMemory accounts a DRAM transfer between chiplet ch and NUMA node n
 // (the path crosses ch's fabric link, and the socket link when n is remote).
 func (f *Fabric) ChargeMemory(ch topology.ChipletID, n topology.NodeID, t, bytes int64) int64 {
-	d := f.chipletLinks[ch].Charge(t, bytes)
+	d := f.chargeChiplet(ch, t, bytes)
 	cs := f.topo.SocketOfNode(f.topo.NodeOfChiplet(ch))
 	ns := f.topo.SocketOfNode(n)
 	if cs != ns {
-		if d2 := f.socketLinks[cs].Charge(t, bytes); d2 > d {
+		if d2 := f.chargeSocket(cs, t, bytes); d2 > d {
 			d = d2
 		}
-		if d2 := f.socketLinks[ns].Charge(t, bytes); d2 > d {
+		if d2 := f.chargeSocket(ns, t, bytes); d2 > d {
 			d = d2
 		}
 	}

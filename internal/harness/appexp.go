@@ -60,6 +60,7 @@ func (o Options) fig9NoSupport(workers int) int64 {
 	if err != nil {
 		panic(err)
 	}
+	o.observe(rt)
 	defer rt.Finalize()
 	cfg := o.scConfig(false, workers)
 	cfg.CentralAlloc = true
@@ -262,5 +263,5 @@ func (o Options) oltpRuntime(local bool, workers int) *charm.Runtime {
 			core.UpdateLocation(rt.Engine().Worker(w))
 		}
 	}
-	return rt
+	return o.observe(rt)
 }

@@ -27,6 +27,7 @@ func (o Options) Granularity() *Table {
 	if err != nil {
 		panic(err)
 	}
+	o.observe(rt)
 	defer rt.Finalize()
 	tb := olap.Generate(rt, olap.Config{LineitemRows: o.olapRows(), Seed: 3})
 	for _, grain := range []int{64, 256, 1024, 4096, 16384, 65536} {

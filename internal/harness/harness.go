@@ -35,6 +35,10 @@ type Options struct {
 	Runs int
 	// Full selects paper-sized inputs.
 	Full bool
+	// Obs, when non-nil, enables the metrics registry on every runtime
+	// the harness builds and captures a metrics document into the sink at
+	// each Finalize (the per-experiment metrics dump).
+	Obs *ObsSink
 }
 
 // Defaults returns the scaled configuration used by tests and benches.
@@ -83,6 +87,16 @@ func (o Options) runtime(topo *charm.Topology, sys charm.System, workers int) *c
 	})
 	if err != nil {
 		panic(fmt.Sprintf("harness: %v", err))
+	}
+	return o.observe(rt)
+}
+
+// observe attaches the metrics sink (when configured) to a runtime —
+// including ones an experiment built with charm.Init directly.
+func (o Options) observe(rt *charm.Runtime) *charm.Runtime {
+	if o.Obs != nil {
+		rt.EnableMetrics(true)
+		rt.SetFinalizeHook(o.Obs.capture)
 	}
 	return rt
 }

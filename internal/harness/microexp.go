@@ -116,6 +116,7 @@ func (o Options) fig5Run(sys charm.System, local bool, size int64) int64 {
 	if err != nil {
 		panic(err)
 	}
+	o.observe(rt)
 	defer rt.Finalize()
 	if !local {
 		// Move each worker to its own chiplet (DistributedCache).

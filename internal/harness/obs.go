@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"charm"
+	"charm/internal/obs"
+)
+
+// ObsSink collects end-of-run metrics snapshots from every runtime the
+// harness builds. Attach one via Options.Obs; each experiment stamps its id
+// with SetCurrent before running, and every Finalize captures a full
+// metrics document (snapshot + traced-metric history) into the sink.
+type ObsSink struct {
+	mu      sync.Mutex
+	current string
+	entries []ObsEntry
+}
+
+// ObsEntry is one runtime's end-of-run metrics capture.
+type ObsEntry struct {
+	// Experiment is the id active when the runtime finalized.
+	Experiment string `json:"experiment"`
+	// Workers is the runtime's worker count.
+	Workers int `json:"workers"`
+	// Metrics is the full metrics document at Finalize time.
+	Metrics obs.JSONDoc `json:"metrics"`
+}
+
+// SetCurrent stamps subsequent captures with the experiment id.
+func (s *ObsSink) SetCurrent(id string) {
+	s.mu.Lock()
+	s.current = id
+	s.mu.Unlock()
+}
+
+// capture records one runtime's metrics; installed as a Finalize hook.
+func (s *ObsSink) capture(r *charm.Runtime) {
+	doc := obs.BuildJSON(r.MetricsSnapshot(), r.MetricsRegistry().History())
+	s.mu.Lock()
+	s.entries = append(s.entries, ObsEntry{
+		Experiment: s.current,
+		Workers:    r.Workers(),
+		Metrics:    doc,
+	})
+	s.mu.Unlock()
+}
+
+// Entries returns a copy of the captures so far.
+func (s *ObsSink) Entries() []ObsEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ObsEntry, len(s.entries))
+	copy(out, s.entries)
+	return out
+}
+
+// Len reports the number of captures.
+func (s *ObsSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// WriteJSON dumps every capture as one indented JSON document.
+func (s *ObsSink) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Entries []ObsEntry `json:"entries"`
+	}{Entries: s.Entries()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Summary condenses the captures into one row per runtime: the headline
+// counters an experiment's metrics dump leads with.
+func (s *ObsSink) Summary() *Table {
+	t := &Table{
+		ID:     "obs",
+		Title:  "Per-runtime metrics captures",
+		Header: []string{"experiment", "workers", "vtime_ms", "tasks", "steals", "migrations", "fabric_MB", "dram_MB"},
+	}
+	find := func(d *obs.JSONDoc, name string) float64 {
+		var sum float64
+		for i := range d.Metrics {
+			if d.Metrics[i].Name == name && d.Metrics[i].Value != nil {
+				sum += *d.Metrics[i].Value
+			}
+		}
+		return sum
+	}
+	for _, e := range s.Entries() {
+		d := &e.Metrics
+		t.Rows = append(t.Rows, []string{
+			e.Experiment,
+			fmt.Sprintf("%d", e.Workers),
+			f3(float64(d.VirtualTimeNS) / 1e6),
+			fmt.Sprintf("%.0f", find(d, "charm_tasks_total")),
+			fmt.Sprintf("%.0f", find(d, "charm_steals_total")),
+			fmt.Sprintf("%.0f", find(d, "charm_migrations_total")),
+			f2(find(d, "charm_fabric_bytes_total") / (1 << 20)),
+			f2(find(d, "charm_mem_bytes_total") / (1 << 20)),
+		})
+	}
+	return t
+}

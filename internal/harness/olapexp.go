@@ -40,6 +40,7 @@ func (o Options) Fig13() *Table {
 		if err != nil {
 			panic(err)
 		}
+		o.observe(rt)
 		defer rt.Finalize()
 		tb := olap.Generate(rt, olap.Config{LineitemRows: o.olapRows(), Seed: 3})
 		e := olap.NewEngine(rt, tb, 1024)

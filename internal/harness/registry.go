@@ -45,5 +45,8 @@ func (o Options) Run(id string) (*Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, o.IDs())
 	}
+	if o.Obs != nil {
+		o.Obs.SetCurrent(id)
+	}
 	return f(), nil
 }

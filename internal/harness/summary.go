@@ -110,6 +110,7 @@ func (o Options) Sensitivity() *Table {
 		if err != nil {
 			panic(err)
 		}
+		o.observe(rt)
 		b := graph.Bind(rt, g, 128)
 		_, res := b.BFS(0)
 		mig := rt.Counter(charm.Migration)
@@ -151,7 +152,7 @@ func (o Options) Ablation() *Table {
 			if err != nil {
 				panic(err)
 			}
-			return rt
+			return o.observe(rt)
 		}
 	}
 	variants := []variant{
@@ -205,7 +206,7 @@ func (o Options) Ablation() *Table {
 		for w := 16; w < 32; w++ {
 			rt.Engine().Worker(w).Migrate(charm.CoreID(w - 16))
 		}
-		return rt
+		return o.observe(rt)
 	}
 	rtS := mkSMT()
 	bS := graph.Bind(rtS, g, 128)
@@ -230,7 +231,7 @@ func (o Options) Ablation() *Table {
 		if err != nil {
 			panic(err)
 		}
-		return rt
+		return o.observe(rt)
 	}
 	rtQ := mkSeq()
 	bQ := graph.Bind(rtQ, g, 128)

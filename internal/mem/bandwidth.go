@@ -1,8 +1,10 @@
 package mem
 
 import (
+	"strconv"
 	"sync/atomic"
 
+	"charm/internal/obs"
 	"charm/internal/topology"
 )
 
@@ -77,9 +79,30 @@ func (b *TokenBucket) Capacity() int64 { return b.capacity }
 // WindowNS returns the accounting window length.
 func (b *TokenBucket) WindowNS() int64 { return b.windowNS }
 
-// DRAM aggregates the per-NUMA-node memory bandwidth of a machine.
+// Utilization returns the fraction of the bucket's capacity charged into
+// the accounting window containing virtual time t. Values above 1 mean
+// the window is oversubscribed and callers are absorbing queueing delay.
+func (b *TokenBucket) Utilization(t int64) float64 {
+	w := t / b.windowNS
+	slot := &b.slots[w%numWindows]
+	if slot.id.Load() != w {
+		return 0
+	}
+	return float64(slot.used.Load()) / float64(b.capacity)
+}
+
+// channelMetrics are one node's observability handles (nil when the DRAM
+// is not instrumented).
+type channelMetrics struct {
+	bytes *obs.Counter
+	delay *obs.Counter
+}
+
+// DRAM aggregates the per-NUMA-node memory bandwidth of a machine. Each
+// node's memory channels share one token bucket (channel interleaving).
 type DRAM struct {
 	nodes []*TokenBucket
+	met   []channelMetrics
 }
 
 // NewDRAM builds the per-node buckets from the topology's channel count and
@@ -93,8 +116,35 @@ func NewDRAM(t *topology.Topology, windowNS int64) *DRAM {
 	return d
 }
 
+// Instrument registers per-channel-group telemetry with reg: cumulative
+// bytes, accumulated queueing delay, and a snapshot-time utilization
+// gauge per NUMA node. Idempotent per registry.
+func (d *DRAM) Instrument(reg *obs.Registry) {
+	d.met = make([]channelMetrics, len(d.nodes))
+	for i := range d.nodes {
+		l := obs.Labels{"channel": "node" + strconv.Itoa(i)}
+		d.met[i] = channelMetrics{
+			bytes: reg.Counter("charm_mem_bytes_total",
+				"Bytes charged against the node's memory channels.", l),
+			delay: reg.Counter("charm_mem_queue_delay_ns_total",
+				"Virtual ns of DRAM bandwidth queueing delay absorbed by accessors.", l),
+		}
+		bucket := d.nodes[i]
+		reg.Func("charm_mem_bandwidth_util",
+			"Current-window memory bandwidth utilization (>1 = oversubscribed).",
+			obs.KindGauge, l, bucket.Utilization, obs.Traced())
+	}
+}
+
 // Charge accounts a DRAM transfer of bytes against node at time t and
 // returns the queueing delay.
 func (d *DRAM) Charge(node topology.NodeID, t, bytes int64) int64 {
-	return d.nodes[node].Charge(t, bytes)
+	delay := d.nodes[node].Charge(t, bytes)
+	if d.met != nil {
+		d.met[node].bytes.Add(0, bytes)
+		if delay > 0 {
+			d.met[node].delay.Add(0, delay)
+		}
+	}
+	return delay
 }

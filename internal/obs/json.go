@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONBucket is one histogram bucket in the JSON document. LE is the
+// inclusive upper bound in virtual ns; the +Inf bucket uses LE = "+Inf".
+type JSONBucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// JSONMetric is one metric in the JSON document.
+type JSONMetric struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Type    string            `json:"type"`
+	Value   *float64          `json:"value,omitempty"`
+	Buckets []JSONBucket      `json:"buckets,omitempty"`
+	Sum     *int64            `json:"sum,omitempty"`
+	Count   *int64            `json:"count,omitempty"`
+}
+
+// JSONHistoryPoint is one periodic sample: series key -> value.
+type JSONHistoryPoint struct {
+	T      int64              `json:"t"`
+	Values map[string]float64 `json:"values"`
+}
+
+// JSONDoc is the machine-readable snapshot document the BENCH_*.json
+// tooling consumes: the full metric state at one virtual time plus the
+// periodic traced-metric history.
+type JSONDoc struct {
+	VirtualTimeNS int64              `json:"virtual_time_ns"`
+	Metrics       []JSONMetric       `json:"metrics"`
+	History       []JSONHistoryPoint `json:"history,omitempty"`
+}
+
+// BuildJSON converts a snapshot (plus optional history) to the document
+// form. history may be nil.
+func BuildJSON(s Snapshot, history []Snapshot) JSONDoc {
+	doc := JSONDoc{VirtualTimeNS: s.T, Metrics: make([]JSONMetric, 0, len(s.Samples))}
+	for i := range s.Samples {
+		sm := &s.Samples[i]
+		jm := JSONMetric{Name: sm.Name, Labels: sm.Labels, Type: sm.Kind.String()}
+		if sm.Hist != nil {
+			h := sm.Hist
+			var cum int64
+			for j, b := range h.Bounds {
+				cum += h.Counts[j]
+				jm.Buckets = append(jm.Buckets, JSONBucket{LE: formatValue(float64(b)), Count: cum})
+			}
+			jm.Buckets = append(jm.Buckets, JSONBucket{LE: "+Inf", Count: h.Count})
+			sum, count := h.Sum, h.Count
+			jm.Sum, jm.Count = &sum, &count
+		} else {
+			v := sm.Value
+			jm.Value = &v
+		}
+		doc.Metrics = append(doc.Metrics, jm)
+	}
+	for _, hs := range history {
+		pt := JSONHistoryPoint{T: hs.T, Values: make(map[string]float64, len(hs.Samples))}
+		for i := range hs.Samples {
+			pt.Values[hs.Samples[i].Key()] = hs.Samples[i].Value
+		}
+		doc.History = append(doc.History, pt)
+	}
+	return doc
+}
+
+// WriteJSON renders the snapshot (plus optional history) as indented JSON.
+func WriteJSON(w io.Writer, s Snapshot, history []Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildJSON(s, history))
+}

@@ -14,10 +14,13 @@ package sim
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"charm/internal/cache"
 	"charm/internal/fabric"
 	"charm/internal/mem"
+	"charm/internal/obs"
 	"charm/internal/pmu"
 	"charm/internal/topology"
 )
@@ -110,6 +113,43 @@ func New(cfg Config) *Machine {
 // SampleFactor returns 2^SampleShift, the extrapolation factor applied to
 // PMU fill counters.
 func (m *Machine) SampleFactor() int64 { return m.sampleFactor }
+
+// Instrument registers the machine's telemetry with reg so one snapshot
+// shows the full simulated state: every PMU counter aggregated per
+// chiplet, per-chiplet L3 hit/miss/eviction counts, per-link fabric
+// occupancy, and per-channel memory bandwidth. All machine metrics are
+// snapshot-time funcs or charge-path counters — nothing is added to the
+// access fast path beyond what the charge paths already do.
+func (m *Machine) Instrument(reg *obs.Registry) {
+	t := m.Topo
+	for e := pmu.Event(0); int(e) < pmu.NumEvents; e++ {
+		name := "charm_pmu_" + strings.ReplaceAll(e.String(), ".", "_") + "_total"
+		help := "PMU event " + e.String() + " summed over the chiplet's cores."
+		for ch := 0; ch < t.NumChiplets(); ch++ {
+			cores := t.CoresOfChiplet(topology.ChipletID(ch))
+			reg.Func(name, help, obs.KindCounter,
+				obs.Labels{"chiplet": strconv.Itoa(ch)}, func(int64) float64 {
+					var s int64
+					for _, c := range cores {
+						s += m.PMU.Read(int(c), e)
+					}
+					return float64(s)
+				})
+		}
+	}
+	for ch := range m.l3 {
+		c := m.l3[ch]
+		l := obs.Labels{"chiplet": strconv.Itoa(ch)}
+		reg.Func("charm_l3_hits_total", "L3 slice lookup hits.", obs.KindCounter, l,
+			func(int64) float64 { h, _ := c.Stats(); return float64(h) })
+		reg.Func("charm_l3_misses_total", "L3 slice lookup misses.", obs.KindCounter, l,
+			func(int64) float64 { _, ms := c.Stats(); return float64(ms) })
+		reg.Func("charm_l3_evictions_total", "L3 slice capacity evictions.", obs.KindCounter, l,
+			func(int64) float64 { return float64(c.Evictions()) })
+	}
+	m.Fabric.Instrument(reg)
+	m.DRAM.Instrument(reg)
+}
 
 // Access simulates core touching [addr, addr+size) at virtual time t and
 // returns the total cost in nanoseconds. write selects the coherence
