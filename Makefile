@@ -11,17 +11,27 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the pre-commit gate: vet, full build, the full test suite, and
-# the race detector on the concurrency-heavy packages (the sharded metrics
-# registry and the runtime core).
+# verify is the pre-commit gate: vet, full build, the full test suite, the
+# race detector on the concurrency-heavy packages (the sharded metrics
+# registry and the runtime core), and the simulator stress test that
+# hammers Machine.Access from one goroutine per core (exercises the
+# coherence directory and the lock-free tag arrays under -race).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/obs/... ./internal/core/...
+	$(GO) test -race -run TestMachineAccessRaceStress ./internal/sim/
 
+# bench runs the tier-1 benchmarks (-benchmem) and records the simulator
+# access-path numbers — directory vs broadcast-scan — into
+# BENCH_directory.json via cmd/benchjson.
 bench:
-	$(GO) test ./internal/core/ -run xxx -bench . -benchtime 1s
+	$(GO) test ./internal/core/ -run xxx -bench . -benchtime 1s -benchmem
+	$(GO) test ./internal/sim/ -run xxx -bench BenchmarkMachineAccess -benchtime 1s -benchmem \
+		| $(GO) run ./cmd/benchjson -o BENCH_directory.json \
+		-note "Machine.Access: coherence directory (dir) vs broadcast L3 scan (scan), AMDMilan7713x2" \
+		-end-to-end "charm-bench all (default scale, sequential): ~53s before the directory, ~40s after (~1.3x)"
 
 # Observability smoke runs: a Chrome trace and a Prometheus metrics dump
 # from the quickstart workload.

@@ -1,0 +1,147 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document for checked-in benchmark records (BENCH_*.json).
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson -o BENCH.json [-note "..."]
+//
+// The parser accepts the standard benchmark line format
+//
+//	BenchmarkName-8   1000   1234 ns/op   56 B/op   7 allocs/op   89 MB/s
+//
+// in any metric order, tees the raw input through to stdout so the run
+// stays visible, and records goos/goarch/pkg context lines. Non-benchmark
+// lines are ignored. Exits non-zero if the input contains no benchmarks
+// (catches an accidentally filtered-out run).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -N GOMAXPROCS suffix, e.g. "BenchmarkMachineAccess/dir/readhot-8".
+	Name string `json:"name"`
+	// Pkg is the most recent "pkg:" context line, when present.
+	Pkg string `json:"pkg,omitempty"`
+	// Iterations is the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline ns/op metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerS is throughput when the benchmark calls b.SetBytes.
+	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// BytesPerOp and AllocsPerOp appear under -benchmem.
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	Note string `json:"note,omitempty"`
+	// EndToEnd records a macro measurement (e.g. charm-bench all wall
+	// clock) alongside the micro benches.
+	EndToEnd string  `json:"end_to_end,omitempty"`
+	GOOS     string  `json:"goos,omitempty"`
+	GOARCH   string  `json:"goarch,omitempty"`
+	CPU      string  `json:"cpu,omitempty"`
+	Benches  []Bench `json:"benches"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to FILE (default stdout only)")
+	note := flag.String("note", "", "free-form note recorded in the document")
+	endToEnd := flag.String("end-to-end", "", "end-to-end measurement note recorded in the document")
+	flag.Parse()
+
+	doc := Doc{Note: *note, EndToEnd: *endToEnd}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		default:
+			if b, ok := parseBench(line); ok {
+				b.Pkg = pkg
+				doc.Benches = append(doc.Benches, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(doc)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benches to %s\n", len(doc.Benches), *out)
+	}
+}
+
+// parseBench parses one "Benchmark... N metrics" line. Metrics come in
+// value-unit pairs ("1234 ns/op", "89.5 MB/s"); unknown units are skipped
+// so new testing metrics don't break the parser.
+func parseBench(line string) (Bench, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Bench{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: f[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			seen = true
+		case "MB/s":
+			b.MBPerS = v
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		}
+	}
+	return b, seen
+}

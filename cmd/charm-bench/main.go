@@ -3,17 +3,25 @@
 //
 // Usage:
 //
-//	charm-bench [-full] [-scale N] [-timer NS] [-sample S] <experiment>|all
+//	charm-bench [-full] [-scale N] [-timer NS] [-sample S] [-parallel N] <experiment>|all
 //
 // Experiments: fig1 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 // fig14 tab1 tab2 sens abl. The default options run each experiment in
-// seconds; -full selects paper-sized inputs.
+// seconds; -full selects paper-sized inputs. -parallel N runs experiments
+// on a pool of N workers (each experiment builds its own simulated
+// machine, so they are independent); output order stays stable by id.
+// -cpuprofile/-memprofile write pprof profiles for perf work.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 	"time"
 
 	"charm/internal/harness"
@@ -27,6 +35,9 @@ func main() {
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	runs := flag.Int("runs", 1, "repeat measured cells and report mean±sd (fig7/fig8)")
 	metrics := flag.String("metrics", "", "capture a metrics document per runtime and write the JSON dump to FILE")
+	parallel := flag.Int("parallel", 1, "run up to N experiments concurrently (output order stays stable by id)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
+	memprofile := flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: charm-bench [flags] <experiment>|all")
@@ -54,28 +65,29 @@ func main() {
 		o.Obs = &harness.ObsSink{}
 	}
 
-	ids := []string{flag.Arg(0)}
-	if flag.Arg(0) == "all" {
-		ids = o.IDs()
-	}
-	for _, id := range ids {
-		start := time.Now()
-		t, err := o.Run(id)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if *asCSV {
-			fmt.Printf("# %s — %s\n", t.ID, t.Title)
-			if err := t.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Println()
-			continue
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		t.Fprint(os.Stdout)
-		fmt.Printf("# %s regenerated in %v (host time)\n\n", id, time.Since(start).Round(time.Millisecond))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	ids := []string{flag.Arg(0)}
+	if flag.Arg(0) == "all" {
+		ids = o.IDs()
+	}
+	if err := runAll(os.Stdout, o, ids, *parallel, *asCSV); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	if o.Obs != nil {
 		o.Obs.Summary().Fprint(os.Stdout)
@@ -92,4 +104,78 @@ func main() {
 		f.Close()
 		fmt.Printf("# wrote %d metrics captures to %s\n", o.Obs.Len(), *metrics)
 	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+}
+
+// runAll regenerates the experiments on a pool of `parallel` workers and
+// renders them to w in the order of ids. Each experiment renders into its
+// own buffer; buffers flush in id order, so a concurrent run produces the
+// same table output as a sequential one (host-time lines aside).
+func runAll(w io.Writer, o harness.Options, ids []string, parallel int, asCSV bool) error {
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > len(ids) {
+		parallel = len(ids)
+	}
+	outs := make([]bytes.Buffer, len(ids))
+	errs := make([]error, len(ids))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for wk := 0; wk < parallel; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				errs[i] = runOne(&outs[i], o, ids[i], asCSV)
+			}
+		}()
+	}
+	for i := range ids {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i := range ids {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if _, err := w.Write(outs[i].Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runOne regenerates one experiment into w.
+func runOne(w io.Writer, o harness.Options, id string, asCSV bool) error {
+	start := time.Now()
+	t, err := o.Run(id)
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Title)
+		if err := t.WriteCSV(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+	t.Fprint(w)
+	fmt.Fprintf(w, "# %s regenerated in %v (host time)\n\n", id, time.Since(start).Round(time.Millisecond))
+	return nil
 }

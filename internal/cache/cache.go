@@ -107,6 +107,11 @@ func (c *Cache) Contains(line uint64) bool {
 // Insert places line into its set, evicting the LRU way if the set is full.
 // It returns the evicted line and true when an eviction happened. Inserting
 // a line that is already present refreshes it instead.
+//
+// Eviction reporting is exact: the victim tag is claimed with an atomic
+// swap, so every line that leaves the array is returned to exactly one
+// caller — the coherence directory in package sim mirrors cache contents
+// from these notifications and must never double-count or miss a victim.
 func (c *Cache) Insert(line uint64, now int64) (evicted uint64, ok bool) {
 	tag := line + 1
 	base := c.setOf(line) * c.ways
@@ -120,10 +125,15 @@ func (c *Cache) Insert(line uint64, now int64) (evicted uint64, ok bool) {
 			return 0, false
 		}
 		if t == 0 {
-			// Empty way: take it immediately.
-			w.tag.Store(tag)
-			w.use.Store(now)
-			return 0, false
+			// Empty way: claim it; on a lost race keep scanning.
+			if w.tag.CompareAndSwap(0, tag) {
+				w.use.Store(now)
+				return 0, false
+			}
+			if w.tag.Load() == tag {
+				w.use.Store(now)
+				return 0, false
+			}
 		}
 		if u := w.use.Load(); u < victimUse {
 			victimUse = u
@@ -131,25 +141,27 @@ func (c *Cache) Insert(line uint64, now int64) (evicted uint64, ok bool) {
 		}
 	}
 	w := &c.sets[victim]
-	old := w.tag.Load()
-	w.tag.Store(tag)
+	old := w.tag.Swap(tag)
 	w.use.Store(now)
-	if old == 0 {
+	if old == 0 || old == tag {
 		return 0, false
 	}
 	c.evicts.Add(1)
 	return old - 1, true
 }
 
-// Invalidate removes line if present and reports whether it was.
+// Invalidate removes line if present and reports whether it was. The
+// removal is a compare-and-swap so a racing Insert of a different line
+// into the same way is never wiped by mistake.
 func (c *Cache) Invalidate(line uint64) bool {
 	tag := line + 1
 	base := c.setOf(line) * c.ways
 	for i := 0; i < c.ways; i++ {
 		w := &c.sets[base+i]
 		if w.tag.Load() == tag {
-			w.tag.Store(0)
-			return true
+			if w.tag.CompareAndSwap(tag, 0) {
+				return true
+			}
 		}
 	}
 	return false

@@ -39,6 +39,12 @@ type Options struct {
 	// the harness builds and captures a metrics document into the sink at
 	// each Finalize (the per-experiment metrics dump).
 	Obs *ObsSink
+
+	// obsExp is the experiment id stamped onto metrics captures. Run sets
+	// it on its by-value receiver before building the experiment closures,
+	// so concurrent experiments (charm-bench -parallel) attribute their
+	// captures correctly without sharing mutable sink state.
+	obsExp string
 }
 
 // Defaults returns the scaled configuration used by tests and benches.
@@ -70,11 +76,6 @@ func (o Options) intel() *charm.Topology { return charm.IntelSPR() }
 // topology4 returns the Milan machine in NPS4 mode (ablation target).
 func topology4() *charm.Topology { return topology.AMDMilanNPS4() }
 
-// runtimeOn is runtime with an explicit topology (ablations).
-func (o Options) runtimeOn(topo *charm.Topology, sys charm.System, workers int) *charm.Runtime {
-	return o.runtime(topo, sys, workers)
-}
-
 // runtime builds a runtime for a system on the selected machine.
 func (o Options) runtime(topo *charm.Topology, sys charm.System, workers int) *charm.Runtime {
 	rt, err := charm.Init(charm.Config{
@@ -92,11 +93,14 @@ func (o Options) runtime(topo *charm.Topology, sys charm.System, workers int) *c
 }
 
 // observe attaches the metrics sink (when configured) to a runtime —
-// including ones an experiment built with charm.Init directly.
+// including ones an experiment built with charm.Init directly. The
+// capture hook carries the experiment id by value, so runtimes built by
+// concurrently running experiments stamp their own id.
 func (o Options) observe(rt *charm.Runtime) *charm.Runtime {
 	if o.Obs != nil {
 		rt.EnableMetrics(true)
-		rt.SetFinalizeHook(o.Obs.capture)
+		exp := o.obsExp
+		rt.SetFinalizeHook(func(r *charm.Runtime) { o.Obs.captureAs(exp, r) })
 	}
 	return rt
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"charm"
@@ -30,31 +31,43 @@ type ObsEntry struct {
 	Metrics obs.JSONDoc `json:"metrics"`
 }
 
-// SetCurrent stamps subsequent captures with the experiment id.
+// SetCurrent stamps subsequent captures that carry no explicit
+// experiment id. The harness stamps ids per run (see Options.Run), which
+// stays correct when experiments execute concurrently; SetCurrent remains
+// the fallback for runtimes observed outside Options.Run.
 func (s *ObsSink) SetCurrent(id string) {
 	s.mu.Lock()
 	s.current = id
 	s.mu.Unlock()
 }
 
-// capture records one runtime's metrics; installed as a Finalize hook.
-func (s *ObsSink) capture(r *charm.Runtime) {
+// captureAs records one runtime's metrics under the given experiment id;
+// installed (with the id bound) as a Finalize hook. An empty id falls
+// back to the SetCurrent value. Safe for concurrent experiments.
+func (s *ObsSink) captureAs(exp string, r *charm.Runtime) {
 	doc := obs.BuildJSON(r.MetricsSnapshot(), r.MetricsRegistry().History())
 	s.mu.Lock()
+	if exp == "" {
+		exp = s.current
+	}
 	s.entries = append(s.entries, ObsEntry{
-		Experiment: s.current,
+		Experiment: exp,
 		Workers:    r.Workers(),
 		Metrics:    doc,
 	})
 	s.mu.Unlock()
 }
 
-// Entries returns a copy of the captures so far.
+// Entries returns a copy of the captures so far, stably ordered by
+// experiment id: concurrent experiments append interleaved, but within
+// one experiment the runtimes finalize in program order, which the stable
+// sort preserves.
 func (s *ObsSink) Entries() []ObsEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]ObsEntry, len(s.entries))
 	copy(out, s.entries)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Experiment < out[j].Experiment })
 	return out
 }
 

@@ -245,11 +245,11 @@ func (o Options) Ablation() *Table {
 	// NPS4 variant: the same machine partitioned into 8 NUMA nodes;
 	// strict NUMA-aware policies confine workers to quarter sockets
 	// (§1 insight 4: overly strict NUMA awareness can hurt).
-	rtN := o.runtimeOn(topology4(), charm.SystemRING, 32)
+	rtN := o.runtime(topology4(), charm.SystemRING, 32)
 	bN := graph.Bind(rtN, g, 128)
 	_, resN := bN.BFS(0)
 	rtN.Finalize()
-	rtN2 := o.runtimeOn(topology4(), charm.SystemRING, 32)
+	rtN2 := o.runtime(topology4(), charm.SystemRING, 32)
 	grN := sgd.Run(rtN2, cfg, sgd.PerNode).GradGBps()
 	rtN2.Finalize()
 	t.Rows = append(t.Rows, []string{"ring-nps4", f1(resN.TEPS() / 1e6), f2(grN)})

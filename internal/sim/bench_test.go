@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"charm/internal/mem"
+	"charm/internal/topology"
+)
+
+// BenchmarkMachineAccess measures the simulator hot path on the 16-chiplet
+// Milan preset under the access mixes that stress coherence tracking, in
+// both modes: "dir" (the coherence directory, the default) and "scan"
+// (NoDirectory broadcast tag-array scans, the pre-directory behaviour).
+// The miss-heavy mixes are where the directory pays: a scan-mode miss
+// probes chiplets × ways tag slots per line, a directory-mode miss reads
+// one presence bitmask.
+//
+//	readhot       — per-core working set resident in L2: the hit fast path.
+//	writeshared   — chiplets round-robin writing one hot block: closest-
+//	                holder transfer + ownership-upgrade invalidation per op.
+//	streamingmiss — a region far beyond L3 streamed sequentially: every
+//	                line misses everywhere, fills, and eventually evicts.
+func BenchmarkMachineAccess(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		noDir bool
+	}{{"dir", false}, {"scan", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.Run("readhot", func(b *testing.B) { benchReadHot(b, mode.noDir) })
+			b.Run("writeshared", func(b *testing.B) { benchWriteShared(b, mode.noDir) })
+			b.Run("streamingmiss", func(b *testing.B) { benchStreamingMiss(b, mode.noDir) })
+		})
+	}
+}
+
+func milanMachine(b *testing.B, noDir bool) *Machine {
+	b.Helper()
+	return New(Config{Topo: topology.AMDMilan7713x2(), NoDirectory: noDir})
+}
+
+// benchReadHot: core 0 re-reads a 256 KiB region that fits its 512 KiB L2.
+func benchReadHot(b *testing.B, noDir bool) {
+	m := milanMachine(b, noDir)
+	const size = 256 << 10
+	region := m.Space.Alloc(size, mem.Bind, 0)
+	now := m.Read(0, 0, region, size) // warm L2+L3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%(size/64)) * 64
+		now += m.Read(0, now, region+mem.Addr(off), 64)
+	}
+}
+
+// benchWriteShared: eight writers on eight different chiplets take turns
+// writing lines of one 4 KiB block. Every write misses locally, fills
+// cache-to-cache from the previous writer's chiplet, and invalidates it.
+func benchWriteShared(b *testing.B, noDir bool) {
+	m := milanMachine(b, noDir)
+	const size = 4 << 10
+	region := m.Space.Alloc(size, mem.Bind, 0)
+	per := m.Topo.CoresPerChiplet
+	writers := make([]topology.CoreID, 8)
+	for i := range writers {
+		writers[i] = topology.CoreID(i * per) // first core of chiplets 0..7
+	}
+	var now int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core := writers[i%len(writers)]
+		off := int64(i%(size/64)) * 64
+		now += m.Write(core, now, region+mem.Addr(off), 64)
+	}
+}
+
+// benchStreamingMiss: core 0 streams 4 KiB chunks through a 128 MiB region
+// (4x its chiplet's 32 MiB L3), wrapping around, so every pass misses all
+// the way to DRAM and churns fills and capacity evictions.
+func benchStreamingMiss(b *testing.B, noDir bool) {
+	m := milanMachine(b, noDir)
+	const size = 128 << 20
+	const chunk = 4 << 10
+	region := m.Space.Alloc(size, mem.Bind, 0)
+	var now, off int64
+	b.SetBytes(chunk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += m.Read(0, now, region+mem.Addr(off), chunk)
+		off += chunk
+		if off >= size {
+			off = 0
+		}
+	}
+}

@@ -9,11 +9,15 @@
 // so read-write sharing across chiplets produces the cache-to-cache
 // ping-pong traffic that chiplet-aware placement avoids. L2s are private
 // filters kept functionally inclusive in the local L3: an L2 hit counts
-// only while the local L3 still holds the line.
+// only while the local L3 still holds the line. Presence is tracked by a
+// sharded coherence directory (directory.go) modeling the I/O die's probe
+// filter, so holder lookup and invalidation touch only actual sharers
+// instead of broadcast-scanning every chiplet's tag array.
 package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"strconv"
 	"strings"
 
@@ -40,6 +44,12 @@ type Config struct {
 	// This is what makes streaming workloads bandwidth-bound rather than
 	// latency-bound, the §2.2 bottleneck. 0 selects 8.
 	MLP int64
+	// NoDirectory disables the coherence directory (the simulated IOD
+	// probe filter, see directory.go) and falls back to broadcast
+	// tag-array scans. The two modes are behaviourally identical; the
+	// flag exists for the directory/scan cross-check tests and the
+	// before/after benchmarks.
+	NoDirectory bool
 }
 
 // Machine is a simulated chiplet server. All methods are safe for
@@ -54,19 +64,25 @@ type Machine struct {
 	l2 []*cache.Cache // per core
 	l3 []*cache.Cache // per chiplet
 
+	// dir is the coherence directory mirroring L3 presence (the IOD
+	// probe filter). nil selects broadcast tag-array scans — only when
+	// Config.NoDirectory is set or the topology exceeds 64 chiplets.
+	dir *directory
+
 	sampleShift  uint
 	sampleFactor int64
 	mlp          int64
 
-	// avg holds the per-core EWMA cost of recent sampled line accesses,
-	// charged to unsampled lines. Owner-core access only; padded against
-	// false sharing.
-	avg []paddedCost
+	// avg holds per-core scratch state — the EWMA cost of recent sampled
+	// line accesses (charged to unsampled lines) and the core's directory
+	// page cache. Owner-core access only; padded against false sharing.
+	avg []coreScratch
 }
 
-type paddedCost struct {
-	v int64
-	_ [56]byte
+type coreScratch struct {
+	v   int64
+	dir dirCache
+	_   [64 - 8 - 16]byte
 }
 
 // New builds a Machine. It panics on an invalid topology, which indicates a
@@ -92,7 +108,7 @@ func New(cfg Config) *Machine {
 		sampleShift:  cfg.SampleShift,
 		sampleFactor: 1 << cfg.SampleShift,
 		mlp:          mlp,
-		avg:          make([]paddedCost, t.NumCores()),
+		avg:          make([]coreScratch, t.NumCores()),
 	}
 	m.l2 = make([]*cache.Cache, t.NumCores())
 	for i := range m.l2 {
@@ -103,6 +119,9 @@ func New(cfg Config) *Machine {
 	m.l3 = make([]*cache.Cache, t.NumChiplets())
 	for i := range m.l3 {
 		m.l3[i] = cache.New(t.L3PerChiplet, t.L3Ways, cfg.SampleShift)
+	}
+	if !cfg.NoDirectory && t.NumChiplets() <= maxDirChiplets {
+		m.dir = newDirectory()
 	}
 	for i := range m.avg {
 		m.avg[i].v = t.Cost.L2Hit
@@ -204,6 +223,7 @@ func (m *Machine) accessLine(core topology.CoreID, t int64, line uint64, addr me
 	ch := topo.ChipletOf(core)
 	l3 := m.l3[ch]
 	l2 := m.l2[core]
+	sc := &m.avg[core].dir
 	xfer := int64(cache.LineSize) * m.sampleFactor
 
 	// pipelined divides a latency by MLP for non-leading lines of a
@@ -227,11 +247,11 @@ func (m *Machine) accessLine(core topology.CoreID, t int64, line uint64, addr me
 	}
 
 	// L2 hit, valid only while the local L3 still holds the line
-	// (functional inclusivity).
-	if l2 != nil && l2.Lookup(line, t) && l3.Contains(line) {
+	// (functional inclusivity) — a single directory bit test.
+	if l2 != nil && l2.Lookup(line, t) && m.l3Holds(ch, line, sc) {
 		cost := pipelined(topo.Cost.L2Hit)
 		if write {
-			cost += invalidationCost(m.invalidateOthers(ch, line))
+			cost += invalidationCost(m.invalidateOthers(ch, line, sc))
 		}
 		m.PMU.Add(int(core), pmu.FillL2, m.sampleFactor)
 		return cost
@@ -244,14 +264,14 @@ func (m *Machine) accessLine(core topology.CoreID, t int64, line uint64, addr me
 			l2.Insert(line, t)
 		}
 		if write {
-			cost += invalidationCost(m.invalidateOthers(ch, line))
+			cost += invalidationCost(m.invalidateOthers(ch, line, sc))
 		}
 		m.PMU.Add(int(core), pmu.FillL3Local, m.sampleFactor)
 		return cost
 	}
 
 	// Local miss: find the topologically closest chiplet holding the line.
-	holder, lat := m.closestHolder(core, ch, line)
+	holder, lat := m.closestHolder(core, ch, line, sc)
 	var cost int64
 	var ev pmu.Event
 	if holder >= 0 {
@@ -266,7 +286,7 @@ func (m *Machine) accessLine(core topology.CoreID, t int64, line uint64, addr me
 			ev = pmu.FillL3RemoteSocket
 		}
 		if write {
-			cost += invalidationCost(m.invalidateOthers(ch, line))
+			cost += invalidationCost(m.invalidateOthers(ch, line, sc))
 		}
 	} else {
 		node := m.Space.HomeOf(addr, topo.NodeOfCore(core))
@@ -279,7 +299,7 @@ func (m *Machine) accessLine(core topology.CoreID, t int64, line uint64, addr me
 			ev = pmu.FillDRAMRemote
 		}
 	}
-	l3.Insert(line, t)
+	m.insertL3(ch, l3, line, t, sc)
 	if l2 != nil {
 		l2.Insert(line, t)
 	}
@@ -287,11 +307,51 @@ func (m *Machine) accessLine(core topology.CoreID, t int64, line uint64, addr me
 	return cost
 }
 
-// closestHolder scans other chiplets for a cached copy and returns the one
-// with the lowest transfer latency, or (-1, 0) when none holds the line.
-func (m *Machine) closestHolder(core topology.CoreID, self topology.ChipletID, line uint64) (int, int64) {
+// l3Holds reports whether chiplet ch's L3 holds line: a directory bit test,
+// or a tag-array probe in scan mode.
+func (m *Machine) l3Holds(ch topology.ChipletID, line uint64, sc *dirCache) bool {
+	if m.dir != nil {
+		return m.dir.has(line, int(ch), sc)
+	}
+	return m.l3[ch].Contains(line)
+}
+
+// insertL3 fills line into chiplet ch's L3 and keeps the directory exact:
+// the inserted line gains ch's presence bit and the capacity victim (if
+// any) loses it. This is the eviction-notification plumbing — the
+// (evicted, ok) return of cache.Insert is what lets the directory observe
+// capacity evictions at all.
+func (m *Machine) insertL3(ch topology.ChipletID, l3 *cache.Cache, line uint64, t int64, sc *dirCache) {
+	evicted, ok := l3.Insert(line, t)
+	if m.dir == nil {
+		return
+	}
+	if ok {
+		m.dir.remove(evicted, int(ch))
+	}
+	m.dir.add(line, int(ch), sc)
+}
+
+// closestHolder finds the cached copy of line with the lowest transfer
+// latency, or (-1, 0) when no other chiplet holds it. With the directory
+// it walks only the set bits of the presence mask; in scan mode it
+// broadcast-probes every chiplet's tag array. Ties resolve to the lowest
+// chiplet id in both modes (bits iterate LSB-first, the scan ascends).
+func (m *Machine) closestHolder(core topology.CoreID, self topology.ChipletID, line uint64, sc *dirCache) (int, int64) {
 	best := -1
 	var bestLat int64
+	if m.dir != nil {
+		mask := m.dir.holders(line, sc) &^ (1 << uint(self))
+		for mask != 0 {
+			i := bits.TrailingZeros64(mask)
+			mask &= mask - 1
+			lat := m.Topo.L3HitLatency(core, topology.ChipletID(i))
+			if best < 0 || lat < bestLat {
+				best, bestLat = i, lat
+			}
+		}
+		return best, bestLat
+	}
 	for i := range m.l3 {
 		if topology.ChipletID(i) == self || !m.l3[i].Contains(line) {
 			continue
@@ -305,8 +365,20 @@ func (m *Machine) closestHolder(core topology.CoreID, self topology.ChipletID, l
 }
 
 // invalidateOthers removes the line from every other chiplet's L3 and
-// returns the number of copies invalidated.
-func (m *Machine) invalidateOthers(self topology.ChipletID, line uint64) int {
+// returns the number of copies invalidated. With the directory the sharer
+// set is claimed in one locked bitmask update and only actual holders'
+// tag arrays are touched; in scan mode every chiplet is probed.
+func (m *Machine) invalidateOthers(self topology.ChipletID, line uint64, sc *dirCache) int {
+	if m.dir != nil {
+		mask := m.dir.takeOthers(line, int(self), sc)
+		n := bits.OnesCount64(mask)
+		for mask != 0 {
+			i := bits.TrailingZeros64(mask)
+			mask &= mask - 1
+			m.l3[i].Invalidate(line)
+		}
+		return n
+	}
 	n := 0
 	for i := range m.l3 {
 		if topology.ChipletID(i) == self {
@@ -335,7 +407,15 @@ func (m *Machine) FlushCaches() {
 	for _, c := range m.l3 {
 		c.Clear()
 	}
+	if m.dir != nil {
+		m.dir.reset()
+	}
 	for i := range m.avg {
 		m.avg[i].v = m.Topo.Cost.L2Hit
+		m.avg[i].dir = dirCache{}
 	}
 }
+
+// DirectoryEnabled reports whether the coherence directory is active
+// (false in scan mode; see Config.NoDirectory).
+func (m *Machine) DirectoryEnabled() bool { return m.dir != nil }
