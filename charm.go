@@ -33,6 +33,7 @@ import (
 
 	"charm/internal/baselines"
 	"charm/internal/core"
+	"charm/internal/fault"
 	"charm/internal/mem"
 	"charm/internal/obs"
 	"charm/internal/pmu"
@@ -66,7 +67,22 @@ type (
 	System = baselines.System
 	// MemPolicy selects a NUMA allocation policy.
 	MemPolicy = mem.Policy
+	// FaultSchedule is a seeded list of fault-injection events (core and
+	// chiplet offlining, link/memory brownouts, thermal throttling).
+	FaultSchedule = fault.Schedule
+	// TaskError is the typed, attributed failure a panicking task
+	// propagates to its submitter (errors.As-compatible).
+	TaskError = core.TaskError
 )
+
+// NewFaultSchedule starts an empty fault schedule; chain its builder
+// methods (OfflineCore, LinkBrownout, ...) to populate it.
+var NewFaultSchedule = fault.New
+
+// ParseFaultSpec parses a named fault-scenario spec string (for example
+// "chiplet-flap:seed=7,period=2ms" or "chaos") against a topology; see
+// internal/fault for the grammar.
+var ParseFaultSpec = fault.ParseSpec
 
 // Systems available for Config.System.
 const (
@@ -136,6 +152,66 @@ type Config struct {
 	// accesses (0 = default 8; 1 serializes every miss — the cost-model
 	// ablation in DESIGN.md).
 	MLP int64
+	// ThrottleWindow overrides the virtual-time skew bound between the
+	// fastest and slowest unblocked worker (0 = default).
+	ThrottleWindow int64
+	// Faults injects a fault schedule: the machine's links and memory
+	// channels degrade per the compiled plan, and workers on offlined
+	// cores drain their queues and re-home or park (see internal/fault).
+	// Mutually exclusive with FaultSpec.
+	Faults *FaultSchedule
+	// FaultSpec is a named fault-scenario string parsed against the
+	// topology (e.g. "chiplet-flap:seed=7" or "chaos"); convenient for
+	// CLI plumbing. Mutually exclusive with Faults.
+	FaultSpec string
+	// MaxTaskRetries re-executes a panicking task up to N times before
+	// failing its submission, with exponential virtual-time backoff
+	// (0 = fail on first panic).
+	MaxTaskRetries int
+	// RetryBackoff is the virtual-ns backoff before the first retry;
+	// retry k waits RetryBackoff << (k-1). 0 selects the default.
+	RetryBackoff int64
+	// StarvationDeadline, when positive, counts every task whose
+	// enqueue-to-completion latency exceeds it (virtual ns) in the
+	// watchdog metric and fault trace.
+	StarvationDeadline int64
+	// Deterministic serializes workers in virtual-clock lockstep: two
+	// runs with identical seeds and schedules produce bit-identical
+	// results, at the price of host parallelism.
+	Deterministic bool
+}
+
+// validate rejects malformed numeric knobs with errors (a library must not
+// panic on bad configuration). Fault-schedule factors are validated by the
+// schedule compiler, which rejects NaN, infinite, and sub-unity factors.
+func (cfg *Config) validate() error {
+	if cfg.Workers <= 0 {
+		return fmt.Errorf("charm: Workers must be positive, got %d", cfg.Workers)
+	}
+	for _, k := range []struct {
+		name string
+		v    int64
+	}{
+		{"CacheScale", cfg.CacheScale},
+		{"SchedulerTimer", cfg.SchedulerTimer},
+		{"RemoteFillThreshold", cfg.RemoteFillThreshold},
+		{"MLP", cfg.MLP},
+		{"ThrottleWindow", cfg.ThrottleWindow},
+		{"MaxTaskRetries", int64(cfg.MaxTaskRetries)},
+		{"RetryBackoff", cfg.RetryBackoff},
+		{"StarvationDeadline", cfg.StarvationDeadline},
+	} {
+		if k.v < 0 {
+			return fmt.Errorf("charm: %s must be non-negative, got %d", k.name, k.v)
+		}
+	}
+	if cfg.SampleShift > 30 {
+		return fmt.Errorf("charm: SampleShift %d leaves no sampled lines", cfg.SampleShift)
+	}
+	if cfg.Faults != nil && cfg.FaultSpec != "" {
+		return fmt.Errorf("charm: Faults and FaultSpec are mutually exclusive")
+	}
+	return nil
 }
 
 // MetricsSnapshot is a point-in-time merge of every registered metric.
@@ -153,6 +229,9 @@ type Runtime struct {
 // Init validates the configuration, builds the simulated machine and the
 // runtime, and starts the workers — the CHARM_Init() of the paper's API.
 func Init(cfg Config) (*Runtime, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	topo := cfg.Topology
 	if topo == nil {
 		topo = topology.AMDMilan7713x2()
@@ -162,9 +241,6 @@ func Init(cfg Config) (*Runtime, error) {
 	}
 	if err := topo.Validate(); err != nil {
 		return nil, fmt.Errorf("charm: %w", err)
-	}
-	if cfg.Workers <= 0 {
-		return nil, fmt.Errorf("charm: Workers must be positive, got %d", cfg.Workers)
 	}
 	system := cfg.System
 	if system == "" {
@@ -177,26 +253,57 @@ func Init(cfg Config) (*Runtime, error) {
 	if system != baselines.OSAsync && cfg.Workers > limit {
 		return nil, fmt.Errorf("charm: %d workers exceed the machine's %d schedulable units", cfg.Workers, limit)
 	}
+	sched := cfg.Faults
+	if cfg.FaultSpec != "" {
+		var err error
+		if sched, err = fault.ParseSpec(cfg.FaultSpec, topo); err != nil {
+			return nil, fmt.Errorf("charm: %w", err)
+		}
+	}
+	var plan *fault.Plan
+	if sched != nil {
+		var err error
+		if plan, err = sched.Compile(topo); err != nil {
+			return nil, fmt.Errorf("charm: %w", err)
+		}
+	}
+	// Knobs orthogonal to the system/policy choice, applied to every
+	// construction path below.
+	extras := func(o *core.Options) {
+		o.ThrottleWindow = cfg.ThrottleWindow
+		o.Faults = plan
+		o.MaxTaskRetries = cfg.MaxTaskRetries
+		o.RetryBackoff = cfg.RetryBackoff
+		o.StarvationDeadline = cfg.StarvationDeadline
+		o.Deterministic = cfg.Deterministic
+	}
 
 	m := sim.New(sim.Config{Topo: topo, SampleShift: cfg.SampleShift, MLP: cfg.MLP})
 	var rt *core.Runtime
-	if cfg.Naive {
+	switch {
+	case cfg.Naive:
 		p := core.NewStaticPolicy(core.SpreadSockets)
 		p.Churn = true
-		rt = core.NewRuntime(m, core.Options{
+		opts := core.Options{
 			Workers:        cfg.Workers,
 			Policy:         p,
 			SchedulerTimer: cfg.SchedulerTimer,
 			UseSMT:         cfg.UseSMT,
-		})
-	} else if system == baselines.CHARM && cfg.NoAdapt {
-		rt = core.NewRuntime(m, core.Options{
+		}
+		extras(&opts)
+		rt = core.NewRuntime(m, opts)
+	case system == baselines.CHARM && cfg.NoAdapt:
+		opts := core.Options{
 			Workers:        cfg.Workers,
 			Policy:         core.NewStaticPolicy(core.Compact),
 			SchedulerTimer: cfg.SchedulerTimer,
 			UseSMT:         cfg.UseSMT,
-		})
-	} else {
+		}
+		extras(&opts)
+		rt = core.NewRuntime(m, opts)
+	case system == baselines.OSAsync:
+		rt = baselines.NewRuntime(m, system, cfg.Workers, cfg.SchedulerTimer, extras)
+	default:
 		policy := system.Policy()
 		if cfg.ObliviousSteal && system == baselines.CHARM {
 			policy = &core.CharmPolicy{ObliviousSteal: true}
@@ -208,11 +315,7 @@ func Init(cfg Config) (*Runtime, error) {
 			RemoteFillThreshold: cfg.RemoteFillThreshold,
 			UseSMT:              cfg.UseSMT,
 		}
-		if system == baselines.OSAsync {
-			rt2 := baselines.NewRuntime(m, system, cfg.Workers, cfg.SchedulerTimer)
-			rt2.Start()
-			return &Runtime{rt: rt2, m: m}, nil
-		}
+		extras(&opts)
 		rt = core.NewRuntime(m, opts)
 	}
 	rt.Start()

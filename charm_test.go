@@ -2,21 +2,91 @@ package charm
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 	"testing"
 )
 
 func TestInitValidation(t *testing.T) {
-	if _, err := Init(Config{}); err == nil {
-		t.Error("zero workers must error")
+	badTopo := SmallTopology()
+	badTopo.Sockets = 0
+	small := SmallTopology()
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero workers", Config{}, false},
+		{"negative workers", Config{Workers: -1, Topology: small}, false},
+		{"too many workers", Config{Workers: 10_000}, false},
+		{"invalid topology", Config{Workers: 2, Topology: badTopo}, false},
+		{"negative cache scale", Config{Workers: 2, Topology: small, CacheScale: -2}, false},
+		{"negative scheduler timer", Config{Workers: 2, Topology: small, SchedulerTimer: -1}, false},
+		{"negative remote fill threshold", Config{Workers: 2, Topology: small, RemoteFillThreshold: -5}, false},
+		{"negative MLP", Config{Workers: 2, Topology: small, MLP: -1}, false},
+		{"negative throttle window", Config{Workers: 2, Topology: small, ThrottleWindow: -1}, false},
+		{"negative retries", Config{Workers: 2, Topology: small, MaxTaskRetries: -1}, false},
+		{"negative retry backoff", Config{Workers: 2, Topology: small, RetryBackoff: -1}, false},
+		{"negative starvation deadline", Config{Workers: 2, Topology: small, StarvationDeadline: -1}, false},
+		{"absurd sample shift", Config{Workers: 2, Topology: small, SampleShift: 40}, false},
+		{"NaN fault factor", Config{Workers: 2, Topology: small,
+			Faults: NewFaultSchedule("nan", 1).LinkBrownout(0, 0, 1000, math.NaN())}, false},
+		{"infinite fault factor", Config{Workers: 2, Topology: small,
+			Faults: NewFaultSchedule("inf", 1).MemBrownout(0, 0, 1000, math.Inf(1))}, false},
+		{"sub-unity fault factor", Config{Workers: 2, Topology: small,
+			Faults: NewFaultSchedule("sub", 1).ThermalThrottle(0, 0, 1000, 0.5)}, false},
+		{"fault unit out of range", Config{Workers: 2, Topology: small,
+			Faults: NewFaultSchedule("oob", 1).OfflineCore(CoreID(small.NumCores()), 0, 1000)}, false},
+		{"inverted fault window", Config{Workers: 2, Topology: small,
+			Faults: NewFaultSchedule("inv", 1).OfflineCore(0, 2000, 1000)}, false},
+		{"bad fault spec", Config{Workers: 2, Topology: small, FaultSpec: "no-such-scenario"}, false},
+		{"faults and spec together", Config{Workers: 2, Topology: small,
+			Faults: NewFaultSchedule("x", 1), FaultSpec: "chaos"}, false},
+		{"valid minimal", Config{Workers: 2, Topology: SmallTopology()}, true},
+		{"valid with faults", Config{Workers: 2, Topology: SmallTopology(),
+			Faults: NewFaultSchedule("ok", 1).LinkBrownout(0, 0, 1000, 2)}, true},
+		{"valid with spec", Config{Workers: 2, Topology: SmallTopology(), FaultSpec: "chaos:seed=3"}, true},
 	}
-	if _, err := Init(Config{Workers: 10_000}); err == nil {
-		t.Error("too many workers must error")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Init panicked instead of returning an error: %v", r)
+				}
+			}()
+			rt, err := Init(tc.cfg)
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("expected an error")
+			}
+			if rt != nil {
+				rt.Finalize()
+			}
+		})
 	}
-	bad := SmallTopology()
-	bad.Sockets = 0
-	if _, err := Init(Config{Workers: 2, Topology: bad}); err == nil {
-		t.Error("invalid topology must error")
+}
+
+func TestFaultInjectionPublicAPI(t *testing.T) {
+	sched := NewFaultSchedule("api", 1).
+		OfflineChiplet(0, 10_000, 200_000).
+		LinkBrownout(1, 0, 100_000, 4)
+	rt, err := Init(Config{
+		Workers: 8, Topology: SmallTopology(), Faults: sched,
+		MaxTaskRetries: 1, StarvationDeadline: 10_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Finalize()
+	var n atomic.Int64
+	st := rt.ParallelFor(0, 64, 1, func(ctx *Ctx, i0, i1 int) {
+		ctx.Compute(5_000)
+		n.Add(1)
+	})
+	if n.Load() != 64 || st.Tasks != 64 {
+		t.Fatalf("completed %d tasks (stats %d), want 64", n.Load(), st.Tasks)
 	}
 }
 

@@ -3,13 +3,19 @@
 //
 // Usage:
 //
-//	charm-bench [-full] [-scale N] [-timer NS] [-sample S] [-parallel N] <experiment>|all
+//	charm-bench [-full] [-scale N] [-timer NS] [-sample S] [-parallel N]
+//	            [-faults SPEC] [-timeout D] <experiment>|all
 //
 // Experiments: fig1 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 tab1 tab2 sens abl. The default options run each experiment in
-// seconds; -full selects paper-sized inputs. -parallel N runs experiments
-// on a pool of N workers (each experiment builds its own simulated
-// machine, so they are independent); output order stays stable by id.
+// fig14 tab1 tab2 sens abl gran chaos. The default options run each
+// experiment in seconds; -full selects paper-sized inputs. -parallel N runs
+// experiments on a pool of N workers (each experiment builds its own
+// simulated machine, so they are independent); output order stays stable by
+// id. -faults injects a fault scenario (internal/fault grammar, e.g.
+// "chaos" or "chiplet-flap:seed=7") into every runtime, running the whole
+// suite on a degrading machine. -timeout D aborts a hung run after the
+// host-time duration D, dumping all goroutine stacks (and the metrics
+// captures collected so far, under -metrics) for post-mortem.
 // -cpuprofile/-memprofile write pprof profiles for perf work.
 package main
 
@@ -36,6 +42,8 @@ func main() {
 	runs := flag.Int("runs", 1, "repeat measured cells and report mean±sd (fig7/fig8)")
 	metrics := flag.String("metrics", "", "capture a metrics document per runtime and write the JSON dump to FILE")
 	parallel := flag.Int("parallel", 1, "run up to N experiments concurrently (output order stays stable by id)")
+	faults := flag.String("faults", "", "inject a fault scenario into every runtime (e.g. \"chaos\" or \"chiplet-flap:seed=7\")")
+	hangAfter := flag.Duration("timeout", 0, "abort after host-time D with goroutine stacks (0 = no limit)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
 	memprofile := flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	flag.Parse()
@@ -63,6 +71,10 @@ func main() {
 	}
 	if *metrics != "" {
 		o.Obs = &harness.ObsSink{}
+	}
+	o.Faults = *faults
+	if *hangAfter > 0 {
+		watchdog(*hangAfter, o.Obs)
 	}
 
 	if *cpuprofile != "" {
@@ -118,6 +130,32 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// watchdog arms the -timeout hang guard: after d of host time it dumps
+// every goroutine stack (virtual time can only hang when goroutines
+// deadlock, so the stacks name the culprit) plus any metrics captures
+// collected so far, then exits nonzero. Simulations make no host-time
+// promises, so the guard is opt-in and generous timeouts are advised.
+func watchdog(d time.Duration, sink *harness.ObsSink) {
+	time.AfterFunc(d, func() {
+		fmt.Fprintf(os.Stderr, "charm-bench: no result after %v; dumping goroutine stacks\n", d)
+		buf := make([]byte, 1<<20)
+		for {
+			n := runtime.Stack(buf, true)
+			if n < len(buf) {
+				buf = buf[:n]
+				break
+			}
+			buf = make([]byte, len(buf)*2)
+		}
+		os.Stderr.Write(buf)
+		if sink != nil && sink.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "charm-bench: %d metrics captures before the hang:\n", sink.Len())
+			sink.WriteJSON(os.Stderr)
+		}
+		os.Exit(2)
+	})
 }
 
 // runAll regenerates the experiments on a pool of `parallel` workers and

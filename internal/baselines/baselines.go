@@ -58,8 +58,10 @@ func (s System) Policy() core.Policy {
 
 // NewRuntime builds a runtime configured the way the system would run on
 // machine m with the given worker count. schedTimer parameterizes the
-// adaptation interval shared by all adaptive systems.
-func NewRuntime(m *sim.Machine, s System, workers int, schedTimer int64) *core.Runtime {
+// adaptation interval shared by all adaptive systems. mods run on the
+// assembled options before construction (fault plans, retry budgets,
+// deterministic mode — knobs orthogonal to the system identity).
+func NewRuntime(m *sim.Machine, s System, workers int, schedTimer int64, mods ...func(*core.Options)) *core.Runtime {
 	opts := core.Options{
 		Workers:        workers,
 		Policy:         s.Policy(),
@@ -75,6 +77,9 @@ func NewRuntime(m *sim.Machine, s System, workers int, schedTimer int64) *core.R
 			Spawn:  m.Topo.Cost.ThreadSpawn,
 			Switch: m.Topo.Cost.ThreadSwitch,
 		}
+	}
+	for _, f := range mods {
+		f(&opts)
 	}
 	return core.NewRuntime(m, opts)
 }

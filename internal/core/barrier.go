@@ -37,9 +37,10 @@ func (rt *Runtime) NewBarrier(n int) *RtBarrier {
 	}
 }
 
-// wait blocks the calling goroutine until all parties arrived and returns
-// the common virtual release time.
-func (b *RtBarrier) wait(now int64) int64 {
+// enter registers one arrival at time now without blocking and returns the
+// generation to wait on. The last arrival computes the common release time
+// and closes the generation.
+func (b *RtBarrier) enter(now int64) *barGen {
 	b.mu.Lock()
 	g := b.cur
 	g.vb.Enter(now)
@@ -48,10 +49,25 @@ func (b *RtBarrier) wait(now int64) int64 {
 		g.t = g.vb.Release(b.cost)
 		b.cur = &barGen{release: make(chan struct{})}
 		close(g.release)
-		b.mu.Unlock()
-		return g.t
 	}
 	b.mu.Unlock()
+	return g
+}
+
+// released reports whether the generation has been closed (safe to poll).
+func (g *barGen) released() bool {
+	select {
+	case <-g.release:
+		return true
+	default:
+		return false
+	}
+}
+
+// wait blocks the calling goroutine until all parties arrived and returns
+// the common virtual release time.
+func (b *RtBarrier) wait(now int64) int64 {
+	g := b.enter(now)
 	<-g.release
 	return g.t
 }

@@ -46,7 +46,10 @@ func (w *Worker) runCoroutine(t *Task) {
 	if !co.started {
 		co.started = true
 		go func() {
-			runRecovered(t, func() { t.fn(co.ctx) })
+			// A panic is attributed to the worker currently bound to the
+			// coroutine and handed back over the status channel; the
+			// worker goroutine decides between retry and failure.
+			t.err = co.ctx.w.runTaskRecovered(t, func() { t.fn(co.ctx) })
 			co.status <- false
 		}()
 	} else {
@@ -57,6 +60,13 @@ func (w *Worker) runCoroutine(t *Task) {
 		// Suspended: make the continuation schedulable (and stealable,
 		// which is how tasks migrate across chiplets).
 		w.deque.Push(t)
+		return
+	}
+	if err := t.err; err != nil {
+		t.err = nil
+		if !w.retryTask(t, err) {
+			w.failTask(t, err)
+		}
 		return
 	}
 	w.finishTask(t)

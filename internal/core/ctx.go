@@ -52,6 +52,13 @@ func (c *Ctx) advance(cost int64) {
 			cost *= int64(occ)
 		}
 	}
+	if p := c.w.rt.opts.Faults; p != nil {
+		// Thermal throttling stretches every cycle the chiplet executes.
+		ch := c.w.rt.M.Topo.ChipletOf(c.w.Core())
+		if m := p.ThermalMilli(ch, c.w.clock.Now()); m > 1000 {
+			cost = cost * m / 1000
+		}
+	}
 	c.w.clock.Advance(cost)
 }
 
@@ -97,7 +104,9 @@ func (c *Ctx) Yield() {
 	if c.co == nil {
 		// Scheduling point: honor the virtual-time gate (so concurrent
 		// tasks interleave at window granularity even mid-task) and run
-		// the Alg. 1 timer.
+		// the Alg. 1 timer. Under lockstep the turn cycles instead, which
+		// interleaves workers in virtual-clock order.
+		c.w.yieldTurn()
 		c.w.throttle()
 		c.w.maybeTick()
 		return
@@ -130,6 +139,7 @@ func (c *Ctx) CallAsync(target int, fn func(*Ctx)) {
 	if target < 0 || target >= len(rt.workers) {
 		panic(fmt.Sprintf("core: CallAsync target %d out of range", target))
 	}
+	target = rt.liveTarget(target, c.w.clock.Now())
 	tw := rt.workers[target]
 	// The sender pays the message-issue cost; the in-flight latency is
 	// carried by the task's start stamp.
@@ -157,6 +167,11 @@ func (c *Ctx) Call(target int, fn func(*Ctx)) {
 	if target < 0 || target >= len(rt.workers) {
 		panic(fmt.Sprintf("core: Call target %d out of range", target))
 	}
+	target = rt.liveTarget(target, c.w.clock.Now())
+	if target == c.w.id {
+		fn(c)
+		return
+	}
 	tw := rt.workers[target]
 	sendDelay := rt.M.Fabric.MessageDelay(c.w.Core(), tw.Core(), c.w.clock.Now(), 64)
 	var done atomic.Bool
@@ -175,6 +190,11 @@ func (c *Ctx) Call(target int, fn func(*Ctx)) {
 		for !done.Load() {
 			c.co.yield()
 		}
+	} else if ls := rt.ls; ls != nil {
+		// Deterministic mode: hand the turn away until the reply lands.
+		c.w.blocked.Store(true)
+		ls.blockOn(c.w.id, done.Load)
+		c.w.blocked.Store(false)
 	} else {
 		// Run-to-completion task: the worker itself blocks.
 		c.w.blocked.Store(true)
@@ -186,15 +206,25 @@ func (c *Ctx) Call(target int, fn func(*Ctx)) {
 	replyDelay := rt.M.Fabric.MessageDelay(tw.Core(), c.w.Core(), finish.Load(), 64)
 	c.w.clock.SyncTo(finish.Load() + replyDelay)
 	if p := g.pan.Load(); p != nil {
-		panic(fmt.Sprintf("core: remote call panic: %v\n\nremote stack:\n%s", p.val, p.stack))
+		panic(p)
 	}
+}
+
+// liveTarget redirects a delegation aimed at a worker whose core is
+// offline at time t to a live worker (graceful degradation: the RPC runs
+// on the dead target's replacement instead of queueing forever).
+func (rt *Runtime) liveTarget(target int, t int64) int {
+	if p := rt.opts.Faults; p != nil && p.CoreDown(rt.workers[target].Core(), t) {
+		return rt.nextLiveWorker(target, t)
+	}
+	return target
 }
 
 // callGroup carries the completion signal of a synchronous Call.
 type callGroup struct {
 	done   *atomic.Bool
 	finish *atomic.Int64
-	pan    atomic.Pointer[taskPanic]
+	pan    atomic.Pointer[TaskError]
 }
 
 // Barrier blocks until all parties of b arrived; every party leaves at the
@@ -202,6 +232,16 @@ type callGroup struct {
 // primitive of the CHARM API. Use one task per worker (AllDo) to avoid
 // starving the barrier.
 func (c *Ctx) Barrier(b *RtBarrier) {
+	if ls := c.w.rt.ls; ls != nil && c.co == nil {
+		// Deterministic mode: register the arrival, then hand the turn
+		// away until the last party closes the generation.
+		g := b.enter(c.Now())
+		c.w.blocked.Store(true)
+		ls.blockOn(c.w.id, g.released)
+		c.w.blocked.Store(false)
+		c.w.clock.SyncTo(g.t)
+		return
+	}
 	c.w.blocked.Store(true)
 	t := b.wait(c.Now())
 	c.w.blocked.Store(false)

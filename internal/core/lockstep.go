@@ -1,0 +1,262 @@
+package core
+
+import "sync"
+
+// lockstep serializes worker execution for Options.Deterministic: exactly
+// one worker runs at a time, and the next to run is always the waiting
+// worker with the smallest (virtual clock, id) pair. Because every
+// state-mutating step (task execution, stealing, PMU and bandwidth-bucket
+// charges, migrations) happens inside a turn, the entire run becomes a
+// pure function of the inputs — two runs with the same seed, workload, and
+// fault schedule produce bit-identical Stats and PMU counters regardless
+// of host scheduling. The price is parallelism; deterministic mode exists
+// for reproducible experiments and debugging, not throughput.
+//
+// Worker states: a worker is *waiting* (wants a turn), *running* (holds
+// the turn), *blocked* (waiting on a predicate — a synchronous Call, a
+// barrier, or a fault park), or *done* (its loop exited). Turns are only
+// granted when every worker is checked in (waiting/blocked/done), so
+// predicates always observe a quiescent fleet; they are evaluated under
+// the lockstep mutex in worker-id order, which makes wake-ups
+// deterministic too.
+//
+// External submitters (submitWait) pause the fleet between turns to
+// distribute tasks, and converge all waiting workers' clocks to the fleet
+// maximum first, so the number of idle turns a run happened to take before
+// the pause cannot leak into subsequent virtual times.
+type lockstep struct {
+	rt   *Runtime
+	mu   sync.Mutex
+	cond *sync.Cond
+	// state[id] is the worker's check-in state; pred[id] the wake
+	// predicate of a blocked worker (evaluated with mu held).
+	state []lsState
+	pred  []func() bool
+	// holder is the worker id holding the turn, -1 when free, -2 while an
+	// external submitter holds the fleet paused.
+	holder    int
+	pauseWant bool
+	// last is the previous turn holder; clock ties are broken round-robin
+	// after it. Without rotation, equal-clock idle workers with low ids
+	// would monopolize turns and starve a higher-id worker whose inbox
+	// (which only its owner may drain) holds the remaining work. Reset on
+	// resume so the host-dependent number of idle turns before an external
+	// pause cannot leak into the post-pause grant order.
+	last int
+}
+
+type lsState uint8
+
+const (
+	lsStart lsState = iota // goroutine not yet at its first acquire
+	lsWaiting
+	lsRunning
+	lsBlocked
+	lsDone
+)
+
+func newLockstep(rt *Runtime, workers int) *lockstep {
+	ls := &lockstep{
+		rt:     rt,
+		state:  make([]lsState, workers),
+		pred:   make([]func() bool, workers),
+		holder: -1,
+		last:   -1,
+	}
+	ls.cond = sync.NewCond(&ls.mu)
+	return ls
+}
+
+// grantLocked hands the turn to the next runner if the fleet is quiescent.
+// Caller holds mu.
+func (ls *lockstep) grantLocked() {
+	if ls.holder != -1 {
+		return
+	}
+	for _, s := range ls.state {
+		if s == lsStart || s == lsRunning {
+			return // someone is mid-turn or not checked in yet
+		}
+	}
+	stopping := ls.rt.stop.Load()
+	for id, s := range ls.state {
+		if s == lsBlocked && (stopping || ls.pred[id]()) {
+			ls.state[id] = lsWaiting
+			ls.pred[id] = nil
+		}
+	}
+	if ls.pauseWant {
+		ls.holder = -2
+		ls.cond.Broadcast()
+		return
+	}
+	n := len(ls.state)
+	best, bestRank := -1, 0
+	var bestClock int64
+	for id, s := range ls.state {
+		if s != lsWaiting {
+			continue
+		}
+		c := ls.rt.workers[id].clock.Now()
+		// Round-robin tie-break: among equal clocks, the id cyclically
+		// after the previous holder runs next.
+		rank := (id - ls.last - 1 + n) % n
+		if best == -1 || c < bestClock || (c == bestClock && rank < bestRank) {
+			best, bestClock, bestRank = id, c, rank
+		}
+	}
+	if best == -1 {
+		if stopping {
+			return
+		}
+		for _, s := range ls.state {
+			if s == lsBlocked {
+				// No predicate fired and nothing can run: the workload
+				// deadlocked (e.g. a cycle of synchronous Calls). Failing
+				// loudly beats hanging the deterministic run forever.
+				panic("core: lockstep deadlock: every worker is blocked and no wake predicate holds")
+			}
+		}
+		return // all done
+	}
+	ls.holder = best
+	ls.last = best
+	ls.cond.Broadcast()
+}
+
+// acquire blocks until worker id holds the turn (or the runtime stops).
+func (ls *lockstep) acquire(id int) {
+	ls.mu.Lock()
+	ls.state[id] = lsWaiting
+	ls.grantLocked()
+	for ls.holder != id && !ls.rt.stop.Load() {
+		ls.cond.Wait()
+	}
+	ls.state[id] = lsRunning
+	ls.mu.Unlock()
+}
+
+// release ends worker id's turn.
+func (ls *lockstep) release(id int) {
+	ls.mu.Lock()
+	if ls.holder == id {
+		ls.holder = -1
+	}
+	ls.state[id] = lsWaiting
+	ls.grantLocked()
+	ls.mu.Unlock()
+}
+
+// blockOn parks worker id until pred holds (pred runs with mu held and
+// must not take locks), then re-acquires the turn before returning.
+func (ls *lockstep) blockOn(id int, pred func() bool) {
+	ls.mu.Lock()
+	ls.state[id] = lsBlocked
+	ls.pred[id] = pred
+	if ls.holder == id {
+		ls.holder = -1
+	}
+	ls.grantLocked()
+	for !(ls.holder == id && ls.state[id] != lsBlocked) && !ls.rt.stop.Load() {
+		ls.cond.Wait()
+	}
+	ls.pred[id] = nil
+	ls.state[id] = lsRunning
+	ls.mu.Unlock()
+}
+
+// exit marks worker id's loop as finished.
+func (ls *lockstep) exit(id int) {
+	ls.mu.Lock()
+	if ls.holder == id {
+		ls.holder = -1
+	}
+	ls.state[id] = lsDone
+	ls.grantLocked()
+	ls.mu.Unlock()
+}
+
+// othersBlockedLocked reports whether every worker but id is blocked or
+// done — the park fallback's "nobody can advance virtual time" test. Only
+// valid from a wake predicate (mu held).
+func (ls *lockstep) othersBlockedLocked(id int) bool {
+	for j, s := range ls.state {
+		if j != id && s != lsBlocked && s != lsDone {
+			return false
+		}
+	}
+	return true
+}
+
+// pause stops the fleet between turns so an external goroutine can mutate
+// shared state (distribute tasks). Waiting workers' clocks converge to the
+// fleet maximum first, making the post-pause state independent of how many
+// idle turns preceded the pause. Balance with resume.
+func (ls *lockstep) pause() {
+	ls.mu.Lock()
+	for ls.pauseWant {
+		ls.cond.Wait() // one external pause at a time
+	}
+	ls.pauseWant = true
+	ls.grantLocked()
+	for ls.holder != -2 && !ls.rt.stop.Load() {
+		ls.cond.Wait()
+	}
+	max := ls.rt.MaxWorkerClock()
+	for id, s := range ls.state {
+		if s == lsWaiting {
+			ls.rt.workers[id].clock.SyncTo(max)
+		}
+	}
+	ls.mu.Unlock()
+}
+
+// resume releases a pause.
+func (ls *lockstep) resume() {
+	ls.mu.Lock()
+	ls.pauseWant = false
+	ls.last = -1
+	if ls.holder == -2 {
+		ls.holder = -1
+	}
+	ls.grantLocked()
+	ls.cond.Broadcast()
+	ls.mu.Unlock()
+}
+
+// stopAll wakes every goroutine blocked in the lockstep so they can
+// observe Runtime.stop and exit.
+func (ls *lockstep) stopAll() {
+	ls.mu.Lock()
+	ls.cond.Broadcast()
+	ls.mu.Unlock()
+}
+
+// Worker-side helpers; all are no-ops when deterministic mode is off.
+
+func (w *Worker) turnAcquire() {
+	if ls := w.rt.ls; ls != nil {
+		ls.acquire(w.id)
+	}
+}
+
+func (w *Worker) turnRelease() {
+	if ls := w.rt.ls; ls != nil {
+		ls.release(w.id)
+	}
+}
+
+func (w *Worker) turnExit() {
+	if ls := w.rt.ls; ls != nil {
+		ls.exit(w.id)
+	}
+}
+
+// yieldTurn cycles the turn at a cooperative scheduling point, letting the
+// virtually-furthest-behind worker interleave mid-task.
+func (w *Worker) yieldTurn() {
+	if ls := w.rt.ls; ls != nil {
+		ls.release(w.id)
+		ls.acquire(w.id)
+	}
+}

@@ -30,6 +30,14 @@ type rtMetrics struct {
 	// execution→completion (the queueing-free residence time).
 	taskLatency *obs.Histogram
 	taskExec    *obs.Histogram
+
+	// Fault-handling counters (all zero when no fault plan is active).
+	faultOfflines   *obs.Counter
+	faultReenqueues *obs.Counter
+	faultMigrations *obs.Counter
+	faultParks      *obs.Counter
+	faultRetries    *obs.Counter
+	watchdogTrips   *obs.Counter
 }
 
 // newRTMetrics builds the registry (one shard per worker) and the
@@ -55,10 +63,28 @@ func newRTMetrics(rt *Runtime, workers int) *rtMetrics {
 			"Virtual ns from task enqueue to completion.", nil, latencyBounds),
 		taskExec: reg.Histogram("charm_task_exec_ns",
 			"Virtual ns from first execution to completion.", nil, latencyBounds),
+		faultOfflines: reg.Counter("charm_fault_core_offline_total",
+			"Times a worker found its core offlined by the fault plan.", nil),
+		faultReenqueues: reg.Counter("charm_fault_reenqueues_total",
+			"Queued tasks drained off a dead core onto live workers.", nil),
+		faultMigrations: reg.Counter("charm_fault_migrations_total",
+			"Worker re-homes to a replacement core after an offline.", nil),
+		faultParks: reg.Counter("charm_fault_parks_total",
+			"Workers parked because no replacement core was available.", nil),
+		faultRetries: reg.Counter("charm_task_retries_total",
+			"Failed task executions re-queued under MaxTaskRetries.", nil),
+		watchdogTrips: reg.Counter("charm_watchdog_trips_total",
+			"Tasks whose enqueue-to-completion time exceeded StarvationDeadline.", nil),
 	}
 	reg.Func("charm_live_tasks", "Currently executing or suspended tasks.",
 		obs.KindGauge, nil, func(int64) float64 { return float64(rt.liveTasks.Load()) },
 		obs.Traced())
+	if rt.opts.Faults != nil {
+		reg.Func("charm_cores_offline", "Cores currently offlined by the fault plan.",
+			obs.KindGauge, nil,
+			func(t int64) float64 { return float64(rt.opts.Faults.CoresDown(t)) },
+			obs.Traced())
+	}
 	return m
 }
 

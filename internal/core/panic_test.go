@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -12,19 +13,29 @@ import (
 
 func recoverMessage(t *testing.T, f func()) string {
 	t.Helper()
-	var msg string
+	e := recoverTaskError(t, f)
+	return e.Error()
+}
+
+// recoverTaskError runs f and returns the *TaskError it panics with.
+func recoverTaskError(t *testing.T, f func()) *TaskError {
+	t.Helper()
+	var e *TaskError
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				msg, _ = r.(string)
+				var ok bool
+				if e, ok = r.(*TaskError); !ok {
+					t.Fatalf("expected *TaskError panic, got %T: %v", r, r)
+				}
 			}
 		}()
 		f()
 	}()
-	if msg == "" {
+	if e == nil {
 		t.Fatal("expected a propagated panic")
 	}
-	return msg
+	return e
 }
 
 func TestTaskPanicPropagatesToSubmitter(t *testing.T) {
@@ -71,6 +82,39 @@ func TestRemoteCallPanicPropagates(t *testing.T) {
 	})
 	if !strings.Contains(msg, "remote fault") {
 		t.Errorf("wrong panic: %q", msg)
+	}
+}
+
+func TestTaskErrorAttribution(t *testing.T) {
+	rt := newTestRT(t, 4)
+	cause := errors.New("attributed fault")
+	e := recoverTaskError(t, func() {
+		rt.ParallelFor(0, 8, 1, func(ctx *Ctx, i0, i1 int) {
+			if i0 == 3 {
+				panic(cause)
+			}
+		})
+	})
+	if e.TaskID == 0 {
+		t.Error("TaskError.TaskID not set")
+	}
+	if e.Worker < 0 || e.Worker >= rt.Workers() {
+		t.Errorf("TaskError.Worker = %d out of range", e.Worker)
+	}
+	if got := rt.M.Topo.ChipletOf(e.Core); got != e.Chiplet {
+		t.Errorf("TaskError.Chiplet = %d, want %d for core %d", e.Chiplet, got, e.Core)
+	}
+	if e.Attempts != 1 {
+		t.Errorf("TaskError.Attempts = %d, want 1 (no retries configured)", e.Attempts)
+	}
+	if !errors.Is(e, cause) {
+		t.Error("errors.Is does not reach the panic value through Unwrap")
+	}
+	if e.Val != any(cause) {
+		t.Errorf("TaskError.Val = %v, want the panic value", e.Val)
+	}
+	if len(e.Stack) == 0 {
+		t.Error("TaskError.Stack empty")
 	}
 }
 

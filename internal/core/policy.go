@@ -107,6 +107,27 @@ func (p *CharmPolicy) AssignWorker(i int, phase uint64, workers int) int {
 	return StableAssign(i, phase, workers)
 }
 
+// Rehome implements the Rehomer interface: when the fault plan offlines the
+// worker's core, CHARM moves it to the nearest *idle* live core (the same
+// distance ranking chiplet-first stealing uses). On a saturated machine it
+// returns false and the worker parks — stacking two workers on one core
+// would serialize them and make that core the makespan bottleneck, worse
+// than spreading the drained tasks across the survivors. The static
+// baselines do not implement Rehomer at all, so their workers always park —
+// the self-healing contrast the chaos experiment measures.
+func (p *CharmPolicy) Rehome(w *Worker, now int64) (topology.CoreID, bool) {
+	plan := w.rt.opts.Faults
+	for _, c := range w.rt.coresByDistance[w.Core()] {
+		if plan.CoreDown(c, now) {
+			continue
+		}
+		if w.rt.coreOcc[c].Load() == 0 {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
 // UpdateLocation is Algorithm 2: translate the worker's spread_rate into a
 // deterministic, collision-free (chiplet, slot) assignment, then enact it
 // as core affinity plus a NUMA memory binding.
@@ -158,6 +179,11 @@ func UpdateLocation(w *Worker) {
 		panic(fmt.Sprintf("core: UpdateLocation slot overflow (worker %d spread %d)", w.id, spread))
 	}
 	core := topology.CoreID(socket*coresPerSocket + chiplet*cpc + slot)
+	if p := w.rt.opts.Faults; p != nil && p.CoreDown(core, w.clock.Now()) {
+		// Alg. 2 would move the worker onto a core the fault plan has
+		// offlined; stay put and let the next decision interval retry.
+		return
+	}
 	w.Migrate(core)
 }
 

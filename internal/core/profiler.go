@@ -20,6 +20,10 @@ const (
 	ProfConcurrency
 	// ProfMigration records core re-assignments (value = new core).
 	ProfMigration
+	// ProfFault records fault-handling actions (value = one of the fc*
+	// codes in fault.go): offlining, drains, re-homes, parks, retries,
+	// watchdog trips. Rendered as instant events in the Chrome trace.
+	ProfFault
 
 	numProfSeries
 )

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"charm/internal/fault"
 	"charm/internal/mem"
 	"charm/internal/pmu"
 	"charm/internal/sim"
@@ -82,6 +83,27 @@ type Options struct {
 	// IdleQuantum is the virtual time an idle worker drifts forward per
 	// fruitless steal round (0 = default 2 µs).
 	IdleQuantum int64
+	// Faults is a compiled fault plan (see internal/fault). The runtime
+	// arms it on the machine's fabric and memory channels and handles
+	// core-offline windows itself: offline workers drain their queues to
+	// live workers and either re-home (Rehomer policies) or park. Nil
+	// runs a permanently healthy machine.
+	Faults *fault.Plan
+	// MaxTaskRetries re-executes a panicking task up to N times before
+	// failing its group, with exponential backoff in virtual time. 0
+	// (default) fails on the first panic.
+	MaxTaskRetries int
+	// RetryBackoff is the virtual-ns backoff before the first retry;
+	// retry k waits RetryBackoff << (k-1). 0 selects 10 µs.
+	RetryBackoff int64
+	// StarvationDeadline, when positive, flags every task whose
+	// enqueue-to-completion latency exceeds it (virtual ns) in the
+	// watchdog metric and the ProfFault series.
+	StarvationDeadline int64
+	// Deterministic serializes workers in virtual-clock lockstep (see
+	// lockstep.go): runs become bit-identical across repetitions at the
+	// price of host parallelism.
+	Deterministic bool
 }
 
 // Stats summarizes one phase or run.
@@ -130,6 +152,9 @@ type Runtime struct {
 
 	prof *Profiler
 	met  *rtMetrics
+
+	// ls serializes workers when Options.Deterministic is set (else nil).
+	ls *lockstep
 }
 
 // NewRuntime builds a runtime on machine m. It panics on invalid options
@@ -185,6 +210,15 @@ func NewRuntime(m *sim.Machine, opts Options) *Runtime {
 	if opts.IdleQuantum <= 0 {
 		opts.IdleQuantum = 2_000
 	}
+	if opts.Faults != nil && opts.Faults.Empty() {
+		opts.Faults = nil // an empty plan is a healthy machine; skip the hooks
+	}
+	if opts.MaxTaskRetries < 0 {
+		panic(fmt.Sprintf("core: MaxTaskRetries must be non-negative, got %d", opts.MaxTaskRetries))
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 10_000
+	}
 
 	rt := &Runtime{
 		M:               m,
@@ -210,6 +244,14 @@ func NewRuntime(m *sim.Machine, opts Options) *Runtime {
 	for _, w := range rt.workers {
 		core := opts.Policy.InitialCore(w.id, opts.Workers, m.Topo)
 		w.placeOn(core)
+	}
+	if opts.Faults != nil {
+		// One wiring point for the whole stack: fabric links and memory
+		// channels read the same plan the scheduler does.
+		m.SetFaultPlan(opts.Faults)
+	}
+	if opts.Deterministic {
+		rt.ls = newLockstep(rt, opts.Workers)
 	}
 	return rt
 }
@@ -250,6 +292,9 @@ func (rt *Runtime) Start() {
 // the last submission has completed.
 func (rt *Runtime) Stop() {
 	rt.stop.Store(true)
+	if rt.ls != nil {
+		rt.ls.stopAll()
+	}
 	rt.wg.Wait()
 }
 
@@ -300,16 +345,10 @@ type group struct {
 	pending atomic.Int64
 	bar     vtime.Barrier
 	done    chan struct{}
-	// panicked holds the first task panic of the group (nil when clean);
+	// panicked holds the first task failure of the group (nil when clean);
 	// submitWait re-panics it on the submitter so a failing task behaves
 	// like a failing function call instead of killing a worker.
-	panicked atomic.Pointer[taskPanic]
-}
-
-// taskPanic captures a recovered task panic with its stack.
-type taskPanic struct {
-	val   any
-	stack []byte
+	panicked atomic.Pointer[TaskError]
 }
 
 func newGroup() *group {
@@ -325,8 +364,8 @@ func (g *group) taskDone(t int64) {
 	}
 }
 
-func (g *group) fail(p *taskPanic) {
-	g.panicked.CompareAndSwap(nil, p)
+func (g *group) fail(e *TaskError) {
+	g.panicked.CompareAndSwap(nil, e)
 }
 
 // Task is one schedulable unit of work.
@@ -352,6 +391,14 @@ type Task struct {
 	remoteStolen bool
 	delegated    bool
 	hops         int32
+
+	// Fault-tolerance state: spawned marks the first execution's
+	// accounting as done (so a retry is not double-counted); attempts is
+	// the retry count; err carries a coroutine failure from the coroutine
+	// goroutine back to the worker (synchronized by the status channel).
+	spawned  bool
+	attempts int32
+	err      *TaskError
 }
 
 func (rt *Runtime) newTask(fn func(*Ctx), g *group, stamp int64, coro bool, home int) *Task {
@@ -427,6 +474,9 @@ func (rt *Runtime) submitWait(fns []func(*Ctx), pinned, coro bool) Stats {
 	g := newGroup()
 	g.add(int64(len(fns)))
 	s0 := rt.snapshotCounters()
+	if rt.ls != nil {
+		rt.ls.pause()
+	}
 	for i, fn := range fns {
 		var wid int
 		if pinned {
@@ -435,16 +485,24 @@ func (rt *Runtime) submitWait(fns []func(*Ctx), pinned, coro bool) Stats {
 		} else {
 			wid = rt.opts.Policy.AssignWorker(i, seq, len(rt.workers))
 		}
+		if rt.opts.Faults != nil && rt.opts.Faults.CoreDown(rt.workers[wid].Core(), start) {
+			// The assigned worker's core is offline at phase start: route
+			// to a live worker instead of queueing work on a parked one.
+			wid = rt.nextLiveWorker(wid, start)
+		}
 		w := rt.workers[wid]
 		t := rt.newTask(fn, g, start, coro, w.id)
 		t.pinned = pinned
 		w.inbox.Put(t)
 	}
+	if rt.ls != nil {
+		rt.ls.resume()
+	}
 	<-g.done
 	if p := g.panicked.Load(); p != nil {
-		// Propagate the first task panic to the submitter, carrying the
-		// original stack for diagnosis.
-		panic(fmt.Sprintf("core: task panic: %v\n\ntask stack:\n%s", p.val, p.stack))
+		// Propagate the first task failure to the submitter as a typed
+		// error, carrying the original stack and attribution.
+		panic(p)
 	}
 	end := g.bar.Release(rt.opts.BarrierCost)
 	rt.phase.Store(end)

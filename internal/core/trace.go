@@ -81,6 +81,26 @@ func (p *Profiler) WriteChromeTrace(w io.Writer) error {
 	add(ProfConcurrency, "live_tasks", true)
 	add(ProfMigration, "migration", false)
 
+	// Fault-handling actions: one instant event per recorded action, named
+	// by the fc* code so offline/re-home/park/resume/retry/watchdog show up
+	// as distinct markers on the worker's track.
+	fcNames := map[int64]string{
+		fcOffline: "fault-offline", fcRehome: "fault-rehome",
+		fcPark: "fault-park", fcResume: "fault-resume",
+		fcRetry: "task-retry", fcWatchdog: "watchdog-trip",
+	}
+	for _, s := range p.Samples(ProfFault) {
+		name := fcNames[s.V]
+		if name == "" {
+			name = "fault"
+		}
+		events = append(events, traceEvent{
+			Name: name, Phase: "i", Scope: "t",
+			TS: float64(s.T) / 1000.0, PID: 0, TID: s.Worker,
+			Args: map[string]float64{"code": float64(s.V)},
+		})
+	}
+
 	// Task lifecycle spans: one B/E pair per completed task on the
 	// completing worker's track.
 	for _, s := range p.Spans() {

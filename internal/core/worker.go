@@ -1,7 +1,6 @@
 package core
 
 import (
-	"runtime/debug"
 	"sync/atomic"
 
 	"charm/internal/mem"
@@ -158,36 +157,52 @@ func (w *Worker) FillsSinceDecision() int64 {
 	return w.rt.M.PMU.FillsFromSystem(int(w.Core())) - w.lastFills
 }
 
-// loop is the worker's main scheduling loop.
+// loop is the worker's main scheduling loop. Under deterministic lockstep
+// each iteration is one turn; otherwise the turn calls are no-ops.
 func (w *Worker) loop() {
 	defer w.rt.wg.Done()
+	defer w.turnExit()
 	idle := 0
 	for !w.rt.stop.Load() {
-		w.throttle()
-		if t := w.drainInbox(); t != nil {
-			w.execute(t)
-			idle = 0
-			continue
+		w.turnAcquire()
+		if !w.rt.stop.Load() {
+			w.step(&idle)
 		}
-		if t := w.deque.Pop(); t != nil {
-			w.execute(t)
-			idle = 0
-			continue
-		}
-		if t := w.steal(); t != nil {
-			w.execute(t)
-			idle = 0
-			continue
-		}
-		// Nothing runnable: drift the idle clock forward (capped at the
-		// global maximum) so this worker does not pin the throttle gate,
-		// and give the host scheduler room.
-		w.idleDrift()
-		idle++
+		w.turnRelease()
 		if idle > 16 {
 			yieldHost()
 		}
 	}
+}
+
+// step runs one scheduling iteration: handle a faulted core, then run the
+// first available task (inbox, own deque, steal), else drift idle.
+func (w *Worker) step(idle *int) {
+	if w.checkFault() {
+		*idle = 0
+		return
+	}
+	w.throttle()
+	if t := w.drainInbox(); t != nil {
+		w.execute(t)
+		*idle = 0
+		return
+	}
+	if t := w.deque.Pop(); t != nil {
+		w.execute(t)
+		*idle = 0
+		return
+	}
+	if t := w.steal(); t != nil {
+		w.execute(t)
+		*idle = 0
+		return
+	}
+	// Nothing runnable: drift the idle clock forward (capped at the
+	// global maximum) so this worker does not pin the throttle gate,
+	// and give the host scheduler room.
+	w.idleDrift()
+	*idle++
 }
 
 // throttle pauses the worker while its virtual clock runs more than the
@@ -199,6 +214,11 @@ func (w *Worker) loop() {
 // A passed check is cached for a quarter window of virtual time so that
 // fine-grained Yield points stay cheap.
 func (w *Worker) throttle() {
+	if w.rt.ls != nil {
+		// Deterministic lockstep already serializes workers in virtual-
+		// clock order; the wall-clock gate would deadlock against it.
+		return
+	}
 	window := w.rt.opts.ThrottleWindow
 	now := w.clock.Now()
 	if now-w.lastThrottleOK < window/4 {
@@ -295,10 +315,11 @@ func (w *Worker) execute(t *Task) {
 		w.rt.workers[t.home].inbox.Put(t)
 		return
 	}
-	if t.co == nil {
-		// Fresh task: charge the spawn cost and count it live until
-		// finishTask (suspended coroutines stay live, matching the
-		// thread-concurrency semantics of Fig. 12).
+	if !t.spawned {
+		// First execution: charge the spawn cost and count the task live
+		// until finishTask (suspended coroutines and retries stay live,
+		// matching the thread-concurrency semantics of Fig. 12).
+		t.spawned = true
 		if w.rt.opts.Overheads.Spawn > 0 {
 			w.clock.Advance(w.rt.opts.Overheads.Spawn)
 		}
@@ -311,14 +332,25 @@ func (w *Worker) execute(t *Task) {
 		w.runCoroutine(t)
 	} else {
 		ctx := &Ctx{w: w, task: t}
-		runRecovered(t, func() { t.fn(ctx) })
-		w.finishTask(t)
+		if err := w.runTaskRecovered(t, func() { t.fn(ctx) }); err != nil {
+			if !w.retryTask(t, err) {
+				w.failTask(t, err)
+			}
+		} else {
+			w.finishTask(t)
+		}
 	}
 	w.maybeTick()
 }
 
 func (w *Worker) finishTask(t *Task) {
 	now := w.clock.Now()
+	if dl := w.rt.opts.StarvationDeadline; dl > 0 && now-t.stamp > dl {
+		// Watchdog: the task sat starved (queued, suspended, or retried)
+		// past the configured deadline before completing.
+		w.rt.met.watchdogTrips.Inc(w.id)
+		w.rt.prof.Record(ProfFault, w.id, now, fcWatchdog)
+	}
 	w.rt.M.PMU.Add(int(w.Core()), pmu.TaskRun, 1)
 	w.rt.liveTasks.Add(-1)
 	w.rt.met.tasks.Inc(w.id)
@@ -359,24 +391,6 @@ func (w *Worker) maybeTick() {
 	w.rt.opts.Policy.OnTimer(w, now-w.lastDecision)
 	w.lastDecision = now
 	w.lastFills = w.rt.M.PMU.FillsFromSystem(int(w.Core()))
-}
-
-// runRecovered executes fn, converting a panic into a group/call failure
-// that the submitter re-raises (failure isolation: a crashing task must not
-// take the worker — and the whole runtime — down with it).
-func runRecovered(t *Task, fn func()) {
-	defer func() {
-		if r := recover(); r != nil {
-			p := &taskPanic{val: r, stack: debug.Stack()}
-			if t.grp != nil {
-				t.grp.fail(p)
-			}
-			if t.onDone != nil {
-				t.onDone.pan.Store(p)
-			}
-		}
-	}()
-	fn()
 }
 
 // nextRand is a xorshift64* PRNG for tie-breaking.

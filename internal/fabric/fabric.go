@@ -8,6 +8,7 @@ package fabric
 import (
 	"strconv"
 
+	"charm/internal/fault"
 	"charm/internal/mem"
 	"charm/internal/obs"
 	"charm/internal/topology"
@@ -31,7 +32,16 @@ type Fabric struct {
 	// Per-link telemetry, nil until Instrument.
 	chipletMet []linkMetrics
 	socketMet  []linkMetrics
+
+	faults *fault.Plan
 }
+
+// SetFaultPlan arms a compiled fault plan: charges against a browned-out
+// link see its bandwidth divided by the plan's factor, and MessageDelay
+// scales its latency by the worse of the two endpoints' link factors. A
+// nil plan restores healthy behaviour. Must be called before the machine
+// starts executing (the field is read without synchronization).
+func (f *Fabric) SetFaultPlan(p *fault.Plan) { f.faults = p }
 
 // New builds the link buckets for a machine.
 func New(t *topology.Topology, windowNS int64) *Fabric {
@@ -73,7 +83,7 @@ func (f *Fabric) Instrument(reg *obs.Registry) {
 
 // chargeChiplet charges one chiplet link and records its telemetry.
 func (f *Fabric) chargeChiplet(ch topology.ChipletID, t, bytes int64) int64 {
-	d := f.chipletLinks[ch].Charge(t, bytes)
+	d := f.chipletLinks[ch].ChargeScaled(t, bytes, f.faults.ChipletLinkMilli(ch, t))
 	if f.chipletMet != nil {
 		f.chipletMet[ch].bytes.Add(0, bytes)
 		if d > 0 {
@@ -85,7 +95,7 @@ func (f *Fabric) chargeChiplet(ch topology.ChipletID, t, bytes int64) int64 {
 
 // chargeSocket charges one socket link and records its telemetry.
 func (f *Fabric) chargeSocket(s topology.SocketID, t, bytes int64) int64 {
-	d := f.socketLinks[s].Charge(t, bytes)
+	d := f.socketLinks[s].ChargeScaled(t, bytes, f.faults.SocketLinkMilli(s, t))
 	if f.socketMet != nil {
 		f.socketMet[s].bytes.Add(0, bytes)
 		if d > 0 {
@@ -140,6 +150,16 @@ func (f *Fabric) ChargeMemory(ch topology.ChipletID, n topology.NodeID, t, bytes
 // bytes from core src to core dst at time t (used by the RPC layer).
 func (f *Fabric) MessageDelay(src, dst topology.CoreID, t, bytes int64) int64 {
 	lat := f.topo.CASLatency(src, dst)
-	q := f.ChargeTransfer(f.topo.ChipletOf(src), f.topo.ChipletOf(dst), t, bytes)
+	sc, dc := f.topo.ChipletOf(src), f.topo.ChipletOf(dst)
+	if f.faults != nil && sc != dc {
+		// A browned-out link stretches message latency by the worse of the
+		// two endpoints' degradation factors.
+		milli := f.faults.ChipletLinkMilli(sc, t)
+		if m := f.faults.ChipletLinkMilli(dc, t); m > milli {
+			milli = m
+		}
+		lat = lat * milli / 1000
+	}
+	q := f.ChargeTransfer(sc, dc, t, bytes)
 	return lat + q
 }

@@ -1,0 +1,337 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"charm/internal/topology"
+)
+
+// span is one half-open down-window [from, to).
+type span struct{ from, to int64 }
+
+// step is one segment of a degradation step function: from virtual time t
+// onward the resource runs at milli/1000 of its healthy cost (milli >= 1000;
+// 1000 means healthy).
+type step struct {
+	t     int64
+	milli int64
+}
+
+// Plan is a compiled, immutable fault schedule: per-resource step functions
+// over virtual time. All queries are pure and lock-free; a nil *Plan is
+// valid and reports a permanently healthy machine, so callers never need a
+// nil check on the hot path.
+type Plan struct {
+	topo     *topology.Topology
+	coreDown [][]span // per core, sorted by from, non-overlapping
+	link     [][]step // per chiplet fabric link
+	sock     [][]step // per socket external link
+	memc     [][]step // per NUMA node memory channel
+	therm    [][]step // per chiplet thermal factor
+	events   []Event  // validated, sorted (includes chiplet expansion sources)
+	name     string
+	seed     uint64
+}
+
+// Compile validates the schedule against topo and builds the per-resource
+// timelines. Chiplet-offline events expand to their member cores;
+// overlapping windows on the same core merge; overlapping degradation
+// windows on the same link/node/chiplet compound multiplicatively.
+func (s *Schedule) Compile(topo *topology.Topology) (*Plan, error) {
+	if s == nil || len(s.Events) == 0 {
+		p := &Plan{topo: topo}
+		if s != nil {
+			p.name, p.seed = s.Name, s.Seed
+		}
+		return p, nil
+	}
+	if topo == nil {
+		return nil, fmt.Errorf("fault: Compile needs a topology")
+	}
+	evs := append([]Event(nil), s.Events...)
+	sortEvents(evs)
+
+	coreWins := make([][]span, topo.NumCores())
+	linkWins := make([][]win, topo.NumChiplets())
+	sockWins := make([][]win, topo.Sockets)
+	memWins := make([][]win, topo.NumNodes())
+	thermWins := make([][]win, topo.NumChiplets())
+
+	for i, e := range evs {
+		to := e.To
+		if to == 0 {
+			to = Forever
+		}
+		if e.From < 0 || to <= e.From {
+			return nil, fmt.Errorf("fault: event %d (%s unit %d): bad window [%d, %d)", i, e.Kind, e.Unit, e.From, to)
+		}
+		needFactor := false
+		var limit int
+		switch e.Kind {
+		case CoreOffline:
+			limit = topo.NumCores()
+		case ChipletOffline:
+			limit = topo.NumChiplets()
+		case LinkBrownout, ThermalThrottle:
+			limit, needFactor = topo.NumChiplets(), true
+		case SocketBrownout:
+			limit, needFactor = topo.Sockets, true
+		case MemBrownout:
+			limit, needFactor = topo.NumNodes(), true
+		default:
+			return nil, fmt.Errorf("fault: event %d: unknown kind %d", i, e.Kind)
+		}
+		if e.Unit < 0 || e.Unit >= limit {
+			return nil, fmt.Errorf("fault: event %d (%s): unit %d out of range [0, %d)", i, e.Kind, e.Unit, limit)
+		}
+		if needFactor && (e.Factor < 1 || math.IsNaN(e.Factor) || math.IsInf(e.Factor, 0)) {
+			return nil, fmt.Errorf("fault: event %d (%s unit %d): factor %v must be a finite value >= 1", i, e.Kind, e.Unit, e.Factor)
+		}
+		switch e.Kind {
+		case CoreOffline:
+			coreWins[e.Unit] = append(coreWins[e.Unit], span{e.From, to})
+		case ChipletOffline:
+			for _, c := range topo.CoresOfChiplet(topology.ChipletID(e.Unit)) {
+				coreWins[c] = append(coreWins[c], span{e.From, to})
+			}
+		case LinkBrownout:
+			linkWins[e.Unit] = append(linkWins[e.Unit], win{e.From, to, e.Factor})
+		case SocketBrownout:
+			sockWins[e.Unit] = append(sockWins[e.Unit], win{e.From, to, e.Factor})
+		case MemBrownout:
+			memWins[e.Unit] = append(memWins[e.Unit], win{e.From, to, e.Factor})
+		case ThermalThrottle:
+			thermWins[e.Unit] = append(thermWins[e.Unit], win{e.From, to, e.Factor})
+		}
+	}
+
+	p := &Plan{
+		topo:     topo,
+		coreDown: make([][]span, topo.NumCores()),
+		link:     make([][]step, topo.NumChiplets()),
+		sock:     make([][]step, topo.Sockets),
+		memc:     make([][]step, topo.NumNodes()),
+		therm:    make([][]step, topo.NumChiplets()),
+		events:   evs,
+		name:     s.Name,
+		seed:     s.Seed,
+	}
+	for c, wins := range coreWins {
+		p.coreDown[c] = mergeSpans(wins)
+	}
+	build := func(dst [][]step, src [][]win) {
+		for u, wins := range src {
+			dst[u] = buildSteps(wins)
+		}
+	}
+	build(p.link, linkWins)
+	build(p.sock, sockWins)
+	build(p.memc, memWins)
+	build(p.therm, thermWins)
+	return p, nil
+}
+
+// mergeSpans sorts and coalesces overlapping/adjacent down-windows.
+func mergeSpans(in []span) []span {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].from < in[j].from })
+	out := in[:1]
+	for _, s := range in[1:] {
+		last := &out[len(out)-1]
+		if s.from <= last.to {
+			if s.to > last.to {
+				last.to = s.to
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// win is a degradation window before compilation into steps.
+type win struct {
+	from, to int64
+	factor   float64
+}
+
+// buildSteps turns overlapping degradation windows into a step function.
+// Concurrent windows compound multiplicatively; the factor is stored in
+// milli-units so queries stay in integer arithmetic.
+func buildSteps(wins []win) []step {
+	if len(wins) == 0 {
+		return nil
+	}
+	bounds := make([]int64, 0, 2*len(wins))
+	for _, w := range wins {
+		bounds = append(bounds, w.from)
+		if w.to != Forever {
+			bounds = append(bounds, w.to)
+		}
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	var out []step
+	last := int64(1000)
+	for i, b := range bounds {
+		if i > 0 && b == bounds[i-1] {
+			continue
+		}
+		f := 1.0
+		for _, w := range wins {
+			if w.from <= b && b < w.to {
+				f *= w.factor
+			}
+		}
+		milli := int64(f*1000 + 0.5)
+		if milli < 1000 {
+			milli = 1000
+		}
+		if milli != last {
+			out = append(out, step{b, milli})
+			last = milli
+		}
+	}
+	return out
+}
+
+// milliAt evaluates a step function: the milli-factor in effect at t.
+func milliAt(steps []step, t int64) int64 {
+	// Most resources have no faults; most faulted ones have few steps, so a
+	// binary search keeps the hot path cheap even for long schedules.
+	lo, hi := 0, len(steps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if steps[mid].t <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 1000
+	}
+	return steps[lo-1].milli
+}
+
+// spanAt returns the down-window containing t, if any.
+func spanAt(spans []span, t int64) (span, bool) {
+	lo, hi := 0, len(spans)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if spans[mid].from <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return span{}, false
+	}
+	if s := spans[lo-1]; t < s.to {
+		return s, true
+	}
+	return span{}, false
+}
+
+// Name reports the schedule's label ("" for a nil or empty plan).
+func (p *Plan) Name() string {
+	if p == nil {
+		return ""
+	}
+	return p.name
+}
+
+// Seed reports the schedule's seed.
+func (p *Plan) Seed() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
+}
+
+// Events returns the validated, sorted event list (nil for a nil plan).
+func (p *Plan) Events() []Event {
+	if p == nil {
+		return nil
+	}
+	return p.events
+}
+
+// Empty reports whether the plan injects no faults at all.
+func (p *Plan) Empty() bool { return p == nil || len(p.events) == 0 }
+
+// CoreDown reports whether core c is offline at virtual time t.
+func (p *Plan) CoreDown(c topology.CoreID, t int64) bool {
+	if p == nil || int(c) >= len(p.coreDown) {
+		return false
+	}
+	_, down := spanAt(p.coreDown[c], t)
+	return down
+}
+
+// CoreUpAt returns the earliest virtual time >= t at which core c is
+// online (t itself when the core is already up, Forever when it never
+// returns).
+func (p *Plan) CoreUpAt(c topology.CoreID, t int64) int64 {
+	if p == nil || int(c) >= len(p.coreDown) {
+		return t
+	}
+	if s, down := spanAt(p.coreDown[c], t); down {
+		return s.to
+	}
+	return t
+}
+
+// CoresDown counts offline cores at virtual time t.
+func (p *Plan) CoresDown(t int64) int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for c := range p.coreDown {
+		if _, down := spanAt(p.coreDown[c], t); down {
+			n++
+		}
+	}
+	return n
+}
+
+// ChipletLinkMilli returns the fabric-link degradation factor for chiplet
+// ch at t, in milli-units (1000 = healthy, 8000 = 8x slower).
+func (p *Plan) ChipletLinkMilli(ch topology.ChipletID, t int64) int64 {
+	if p == nil || int(ch) >= len(p.link) {
+		return 1000
+	}
+	return milliAt(p.link[ch], t)
+}
+
+// SocketLinkMilli returns the external-link degradation factor for socket
+// sk at t, in milli-units.
+func (p *Plan) SocketLinkMilli(sk topology.SocketID, t int64) int64 {
+	if p == nil || int(sk) >= len(p.sock) {
+		return 1000
+	}
+	return milliAt(p.sock[sk], t)
+}
+
+// MemMilli returns the memory-channel degradation factor for NUMA node n
+// at t, in milli-units.
+func (p *Plan) MemMilli(n topology.NodeID, t int64) int64 {
+	if p == nil || int(n) >= len(p.memc) {
+		return 1000
+	}
+	return milliAt(p.memc[n], t)
+}
+
+// ThermalMilli returns the compute-slowdown factor for chiplet ch at t, in
+// milli-units.
+func (p *Plan) ThermalMilli(ch topology.ChipletID, t int64) int64 {
+	if p == nil || int(ch) >= len(p.therm) {
+		return 1000
+	}
+	return milliAt(p.therm[ch], t)
+}

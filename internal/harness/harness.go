@@ -35,6 +35,12 @@ type Options struct {
 	Runs int
 	// Full selects paper-sized inputs.
 	Full bool
+	// Faults, when non-empty, is a fault-scenario spec (internal/fault
+	// grammar, e.g. "chiplet-flap:seed=7" or "chaos") injected into every
+	// runtime the harness builds — run any experiment on a degrading
+	// machine. The chaos experiment builds its own schedules and ignores
+	// this knob.
+	Faults string
 	// Obs, when non-nil, enables the metrics registry on every runtime
 	// the harness builds and captures a metrics document into the sink at
 	// each Finalize (the per-experiment metrics dump).
@@ -85,6 +91,7 @@ func (o Options) runtime(topo *charm.Topology, sys charm.System, workers int) *c
 		System:         sys,
 		SampleShift:    o.SampleShift,
 		SchedulerTimer: o.SchedulerTimer,
+		FaultSpec:      o.Faults,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("harness: %v", err))

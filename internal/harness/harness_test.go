@@ -51,11 +51,67 @@ func TestTablePrintAndLookup(t *testing.T) {
 func TestRegistry(t *testing.T) {
 	o := testOptions()
 	ids := o.IDs()
-	if len(ids) != 17 {
-		t.Errorf("expected 17 experiments, got %d: %v", len(ids), ids)
+	if len(ids) != 18 {
+		t.Errorf("expected 18 experiments, got %d: %v", len(ids), ids)
 	}
 	if _, err := o.Run("nope"); err == nil {
 		t.Error("unknown id must error")
+	}
+}
+
+func TestChaosShape(t *testing.T) {
+	tab := testOptions().Chaos()
+	ratioCol, lostCol := tab.Col("ratio"), tab.Col("lost")
+	reproCol, rehomeCol := tab.Col("repro"), tab.Col("rehomes")
+	parkCol := tab.Col("parks")
+	if len(tab.Rows) != 7 {
+		t.Fatalf("expected 7 rows, got %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		// Survival: every system completes every task — offlining 2 of 16
+		// chiplets mid-run must not lose or deadlock work.
+		if r[lostCol] != "0" {
+			t.Errorf("%s: lost %s tasks under faults", r[0], r[lostCol])
+		}
+		ratio := parse(t, r[ratioCol])
+		if ratio < 1.0 {
+			t.Errorf("%s: faulty run faster than healthy (%.2fx)", r[0], ratio)
+		}
+	}
+	// Scenario A: losing 2/16 cores from the 25%% mark costs ~9%% capacity;
+	// graceful degradation means the makespan stays well under the 2x a
+	// collapse would show (and under the 1.75x a parked-from-start run of
+	// the whole workload on 14 cores would).
+	charmRow := tab.Find("charm")
+	if charmRow == nil {
+		t.Fatal("missing charm row")
+	}
+	if ratio := parse(t, charmRow[ratioCol]); ratio > 1.6 {
+		t.Errorf("charm degradation %.2fx not proportional to lost capacity", ratio)
+	}
+	if charmRow[reproCol] != "yes" {
+		t.Error("charm faulty run not byte-for-byte reproducible")
+	}
+	// Scenario B: with spare cores CHARM re-homes (and so records
+	// migrations-due-to-fault), while the static baseline parks.
+	spare := tab.Find("spare-charm")
+	if spare == nil {
+		t.Fatal("missing spare-charm row")
+	}
+	if parse(t, spare[rehomeCol]) == 0 {
+		t.Error("spare-charm recorded no fault re-homes")
+	}
+	spareRing := tab.Find("spare-ring")
+	if spareRing == nil {
+		t.Fatal("missing spare-ring row")
+	}
+	if parse(t, spareRing[parkCol]) == 0 {
+		t.Error("spare-ring recorded no parks")
+	}
+	// Self-healing: CHARM's degradation with spare capacity available
+	// must beat the static baseline's, which loses the workers outright.
+	if cr, rr := parse(t, spare[ratioCol]), parse(t, spareRing[ratioCol]); cr >= rr {
+		t.Errorf("spare-charm %.2fx not better than spare-ring %.2fx", cr, rr)
 	}
 }
 

@@ -25,6 +25,7 @@ func (o Options) Experiments() map[string]func() *Table {
 		"sens":  o.Sensitivity,
 		"abl":   o.Ablation,
 		"gran":  o.Granularity,
+		"chaos": o.Chaos,
 	}
 }
 

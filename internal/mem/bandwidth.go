@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"sync/atomic"
 
+	"charm/internal/fault"
 	"charm/internal/obs"
 	"charm/internal/topology"
 )
@@ -73,6 +74,37 @@ func (b *TokenBucket) Charge(t int64, bytes int64) int64 {
 	return excess * b.windowNS / b.capacity
 }
 
+// ChargeScaled is Charge with the bucket's capacity scaled to
+// capacity*1000/milli for this one charge — the fault-injection hook for
+// bandwidth brownouts. milli is the degradation factor in milli-units
+// (1000 = healthy); ChargeScaled(t, bytes, 1000) is exactly Charge. The
+// byte accounting still goes into the shared slots, so degraded and
+// healthy accessors in the same window see each other's traffic.
+func (b *TokenBucket) ChargeScaled(t, bytes, milli int64) int64 {
+	if milli <= 1000 {
+		return b.Charge(t, bytes)
+	}
+	if bytes <= 0 {
+		return 0
+	}
+	capEff := b.capacity * 1000 / milli
+	if capEff < 1 {
+		capEff = 1
+	}
+	w := t / b.windowNS
+	slot := &b.slots[w%numWindows]
+	if id := slot.id.Load(); id != w {
+		if slot.id.CompareAndSwap(id, w) {
+			slot.used.Store(0)
+		}
+	}
+	used := slot.used.Add(bytes)
+	if used <= capEff {
+		return 0
+	}
+	return (used - capEff) * b.windowNS / capEff
+}
+
 // Capacity returns bytes per window.
 func (b *TokenBucket) Capacity() int64 { return b.capacity }
 
@@ -101,9 +133,17 @@ type channelMetrics struct {
 // DRAM aggregates the per-NUMA-node memory bandwidth of a machine. Each
 // node's memory channels share one token bucket (channel interleaving).
 type DRAM struct {
-	nodes []*TokenBucket
-	met   []channelMetrics
+	nodes  []*TokenBucket
+	met    []channelMetrics
+	faults *fault.Plan
 }
+
+// SetFaultPlan arms a compiled fault plan: subsequent charges against a
+// browned-out node see its bandwidth divided by the plan's factor at the
+// charge's virtual time. A nil plan restores healthy behaviour. Must be
+// called before the machine starts executing (the field is read without
+// synchronization on the hot path).
+func (d *DRAM) SetFaultPlan(p *fault.Plan) { d.faults = p }
 
 // NewDRAM builds the per-node buckets from the topology's channel count and
 // per-channel bandwidth.
@@ -139,7 +179,7 @@ func (d *DRAM) Instrument(reg *obs.Registry) {
 // Charge accounts a DRAM transfer of bytes against node at time t and
 // returns the queueing delay.
 func (d *DRAM) Charge(node topology.NodeID, t, bytes int64) int64 {
-	delay := d.nodes[node].Charge(t, bytes)
+	delay := d.nodes[node].ChargeScaled(t, bytes, d.faults.MemMilli(node, t))
 	if d.met != nil {
 		d.met[node].bytes.Add(0, bytes)
 		if delay > 0 {

@@ -23,6 +23,7 @@ import (
 
 	"charm/internal/cache"
 	"charm/internal/fabric"
+	"charm/internal/fault"
 	"charm/internal/mem"
 	"charm/internal/obs"
 	"charm/internal/pmu"
@@ -77,7 +78,26 @@ type Machine struct {
 	// line accesses (charged to unsampled lines) and the core's directory
 	// page cache. Owner-core access only; padded against false sharing.
 	avg []coreScratch
+
+	// faults is the compiled fault plan armed via SetFaultPlan (nil = a
+	// permanently healthy machine).
+	faults *fault.Plan
 }
+
+// SetFaultPlan arms a compiled fault plan on the machine's shared
+// resources: fabric links and memory channels degrade per the plan's
+// windows, evaluated at each charge's own virtual time. Core-offline
+// windows are not interpreted here — the runtime layer owns worker
+// placement and queries the plan directly. Call before the machine starts
+// executing; a nil plan restores healthy behaviour.
+func (m *Machine) SetFaultPlan(p *fault.Plan) {
+	m.faults = p
+	m.Fabric.SetFaultPlan(p)
+	m.DRAM.SetFaultPlan(p)
+}
+
+// FaultPlan returns the armed fault plan (nil when healthy).
+func (m *Machine) FaultPlan() *fault.Plan { return m.faults }
 
 type coreScratch struct {
 	v   int64
