@@ -11,13 +11,24 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the pre-commit gate: vet, full build, the full test suite, the
-# race detector on the concurrency-heavy packages (the sharded metrics
-# registry and the runtime core), and the simulator stress test that
-# hammers Machine.Access from one goroutine per core (exercises the
-# coherence directory and the lock-free tag arrays under -race).
+# STATICCHECK_VERSION pins the staticcheck release CI installs (and
+# caches); bump deliberately so lint churn never lands by surprise.
+STATICCHECK_VERSION ?= 2025.1.1
+
+# verify is the pre-commit gate: vet, staticcheck (when installed — CI
+# always runs it pinned; local runs without it just skip), full build,
+# the full test suite, the race detector on the concurrency-heavy
+# packages (the sharded metrics registry and the runtime core), and the
+# simulator stress test that hammers Machine.Access from one goroutine
+# per core (exercises the coherence directory and the lock-free tag
+# arrays under -race).
 verify:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs $(STATICCHECK_VERSION))"; \
+	fi
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/obs/... ./internal/core/...

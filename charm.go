@@ -30,7 +30,9 @@ package charm
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
+	"charm/internal/admit"
 	"charm/internal/baselines"
 	"charm/internal/core"
 	"charm/internal/fault"
@@ -73,7 +75,81 @@ type (
 	// TaskError is the typed, attributed failure a panicking task
 	// propagates to its submitter (errors.As-compatible).
 	TaskError = core.TaskError
+	// JobSpec describes one open-loop job: a DAG of task stages with a
+	// priority and a virtual-time deadline (see Runtime.SubmitJob).
+	JobSpec = core.JobSpec
+	// JobStage is one stage of a job: tasks that run in parallel.
+	JobStage = core.JobStage
+	// Job is a submitted job's handle (state, cancellation, completion).
+	Job = core.Job
+	// JobState is a job's lifecycle state.
+	JobState = core.JobState
+	// JobService is the open-loop admission/dispatch pipeline.
+	JobService = core.JobService
+	// JobServiceOptions configure Runtime.ServeJobs.
+	JobServiceOptions = core.JobServiceOptions
+	// JobStats is a job service's admission ledger.
+	JobStats = core.JobStats
+	// JobSource produces an open-loop arrival stream.
+	JobSource = core.JobSource
+	// SpecSource adapts an arrival process plus a spec generator into a
+	// JobSource.
+	SpecSource = core.SpecSource
+	// AdmitPolicy selects the backpressure policy of a bounded admission
+	// queue: Block, Reject, or Shed.
+	AdmitPolicy = admit.Policy
+	// BreakerConfig tunes the per-chiplet circuit breakers.
+	BreakerConfig = admit.BreakerConfig
 )
+
+// Admission policies for JobServiceOptions.Policy.
+const (
+	// AdmitBlock holds arrivals until queue space frees.
+	AdmitBlock = admit.Block
+	// AdmitReject refuses arrivals at a full queue with ErrQueueFull.
+	AdmitReject = admit.Reject
+	// AdmitShed drops the job with the least deadline slack — on arrival
+	// when the arrival itself is hopeless, by eviction otherwise — and
+	// re-checks budgets at dispatch.
+	AdmitShed = admit.Shed
+)
+
+// Job lifecycle states.
+const (
+	JobQueued    = core.JobQueued
+	JobRunning   = core.JobRunning
+	JobCompleted = core.JobCompleted
+	JobFailed    = core.JobFailed
+	JobCancelled = core.JobCancelled
+	JobRejected  = core.JobRejected
+	JobShed      = core.JobShed
+	JobExpired   = core.JobExpired
+)
+
+// Typed admission and lifecycle errors.
+var (
+	// ErrFinalized reports a submission that raced or followed Finalize.
+	ErrFinalized = core.ErrFinalized
+	// ErrQueueFull reports a Reject-policy refusal (or a Shed eviction
+	// refusal) at a full admission queue.
+	ErrQueueFull = admit.ErrQueueFull
+	// ErrWouldBlock reports a Block-policy queue that cannot accept a
+	// synchronous submission without waiting.
+	ErrWouldBlock = admit.ErrWouldBlock
+	// ErrHopeless reports a deadline-aware shed of an arrival whose
+	// remaining budget is below its estimated service time.
+	ErrHopeless = admit.ErrHopeless
+)
+
+// ParseAdmitPolicy parses "block", "reject", or "shed".
+var ParseAdmitPolicy = admit.ParsePolicy
+
+// NewPoissonArrivals builds a seeded open-loop Poisson arrival process of
+// n arrivals with the given mean inter-arrival gap in virtual ns.
+var NewPoissonArrivals = admit.NewPoisson
+
+// NewTraceArrivals replays a fixed arrival-time sequence.
+var NewTraceArrivals = admit.NewTrace
 
 // NewFaultSchedule starts an empty fault schedule; chain its builder
 // methods (OfflineCore, LinkBrownout, ...) to populate it.
@@ -224,6 +300,9 @@ type Runtime struct {
 	// onFinalize runs at the start of Finalize, while metrics and the
 	// profiler are still live (the harness uses it to capture snapshots).
 	onFinalize func(*Runtime)
+	// finalized makes Finalize idempotent: exactly one caller runs the
+	// hook and stops the runtime; the rest return immediately.
+	finalized atomic.Bool
 }
 
 // Init validates the configuration, builds the simulated machine and the
@@ -323,7 +402,14 @@ func Init(cfg Config) (*Runtime, error) {
 }
 
 // Finalize stops the runtime — the CHARM_Finalize() of the paper's API.
+// Finalize is idempotent and safe to race with submissions: the first call
+// wins, waits for in-flight Run/SubmitJob calls to complete, and stops the
+// workers; every later submission fails with ErrFinalized (returned by
+// SubmitJob, panicked by Run and friends).
 func (r *Runtime) Finalize() {
+	if !r.finalized.CompareAndSwap(false, true) {
+		return
+	}
 	if r.onFinalize != nil {
 		r.onFinalize(r)
 		r.onFinalize = nil
@@ -337,6 +423,26 @@ func (r *Runtime) SetFinalizeHook(fn func(*Runtime)) { r.onFinalize = fn }
 
 // Run executes fn as a root task and waits for it and all tasks it spawned.
 func (r *Runtime) Run(fn func(*Ctx)) Stats { return r.rt.Run(fn) }
+
+// ServeJobs installs the open-loop job service: jobs admitted through a
+// bounded queue under the configured backpressure policy, dispatched while
+// the machine runs, optionally driven by a seeded arrival source and
+// guarded by per-chiplet circuit breakers. At most one service per
+// runtime.
+func (r *Runtime) ServeJobs(opts JobServiceOptions) (*JobService, error) {
+	return r.rt.ServeJobs(opts)
+}
+
+// SubmitJob submits one job through the admission pipeline (installing a
+// default Reject-policy service on first use). The returned handle tracks
+// the job's lifecycle; the error, if non-nil, is the typed admission
+// refusal (ErrQueueFull, ErrWouldBlock, ErrHopeless) or ErrFinalized.
+func (r *Runtime) SubmitJob(spec JobSpec) (*Job, error) {
+	return r.rt.SubmitJob(spec)
+}
+
+// JobServer returns the installed job service, or nil.
+func (r *Runtime) JobServer() *JobService { return r.rt.JobServer() }
 
 // AllDo runs fn once on every worker and waits — the all_do() primitive.
 func (r *Runtime) AllDo(fn func(*Ctx)) Stats { return r.rt.AllDo(fn) }

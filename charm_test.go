@@ -1,6 +1,7 @@
 package charm
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -10,7 +11,15 @@ import (
 func TestInitValidation(t *testing.T) {
 	badTopo := SmallTopology()
 	badTopo.Sockets = 0
+	zeroCore := SmallTopology()
+	zeroCore.CoresPerChiplet = 0
 	small := SmallTopology()
+	// SmallTopology has 4 chiplets; offlining all of them forever leaves
+	// zero live cores, which the plan compiler must refuse.
+	allDead := NewFaultSchedule("dead", 1)
+	for ch := 0; ch < 4; ch++ {
+		allDead.OfflineChiplet(ChipletID(ch), 0, 0)
+	}
 	cases := []struct {
 		name string
 		cfg  Config
@@ -20,6 +29,8 @@ func TestInitValidation(t *testing.T) {
 		{"negative workers", Config{Workers: -1, Topology: small}, false},
 		{"too many workers", Config{Workers: 10_000}, false},
 		{"invalid topology", Config{Workers: 2, Topology: badTopo}, false},
+		{"zero-core topology", Config{Workers: 2, Topology: zeroCore}, false},
+		{"plan offlines every core", Config{Workers: 2, Topology: small, Faults: allDead}, false},
 		{"negative cache scale", Config{Workers: 2, Topology: small, CacheScale: -2}, false},
 		{"negative scheduler timer", Config{Workers: 2, Topology: small, SchedulerTimer: -1}, false},
 		{"negative remote fill threshold", Config{Workers: 2, Topology: small, RemoteFillThreshold: -5}, false},
@@ -338,5 +349,55 @@ func TestCounterOfAndProfilerPublic(t *testing.T) {
 	}
 	if rt.LiveTasks() != 0 {
 		t.Errorf("live tasks after completion = %d", rt.LiveTasks())
+	}
+}
+
+// TestJobServicePublicAPI drives the open-loop job service through the
+// public surface: Poisson arrivals, deadline-aware shedding, stats, and
+// typed errors after Finalize.
+func TestJobServicePublicAPI(t *testing.T) {
+	rt, err := Init(Config{Workers: 4, Topology: SmallTopology(), Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 25
+	var ran atomic.Int64
+	svc, err := rt.ServeJobs(JobServiceOptions{
+		Policy: AdmitShed,
+		Source: &SpecSource{
+			Arrivals: NewPoissonArrivals(3, 10_000, jobs),
+			Gen: func(i int) JobSpec {
+				return JobSpec{
+					Name:     fmt.Sprintf("job-%d", i),
+					Priority: i % 2,
+					Deadline: 5_000_000,
+					Cost:     20_000,
+					Stages: []JobStage{{
+						func(ctx *Ctx) { ctx.Compute(5_000); ran.Add(1) },
+						func(ctx *Ctx) { ctx.Compute(5_000); ran.Add(1) },
+					}},
+				}
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.JobServer() != svc {
+		t.Fatal("JobServer does not return the installed service")
+	}
+	svc.Drain()
+	st := svc.Stats()
+	if st.Submitted != jobs || st.Completed != jobs {
+		t.Fatalf("stats = %+v, want %d submitted and completed", st, jobs)
+	}
+	if ran.Load() != jobs*2 {
+		t.Fatalf("tasks ran = %d, want %d", ran.Load(), jobs*2)
+	}
+
+	rt.Finalize()
+	rt.Finalize() // idempotent
+	if _, err := rt.SubmitJob(JobSpec{}); !errors.Is(err, ErrFinalized) {
+		t.Fatalf("SubmitJob after Finalize: %v, want ErrFinalized", err)
 	}
 }

@@ -4,16 +4,18 @@
 // Usage:
 //
 //	charm-bench [-full] [-scale N] [-timer NS] [-sample S] [-parallel N]
-//	            [-faults SPEC] [-timeout D] <experiment>|all
+//	            [-faults SPEC] [-arrivals X] [-timeout D] <experiment>|all
 //
 // Experiments: fig1 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 tab1 tab2 sens abl gran chaos. The default options run each
+// fig14 tab1 tab2 sens abl gran chaos overload. The default options run each
 // experiment in seconds; -full selects paper-sized inputs. -parallel N runs
 // experiments on a pool of N workers (each experiment builds its own
 // simulated machine, so they are independent); output order stays stable by
 // id. -faults injects a fault scenario (internal/fault grammar, e.g.
 // "chaos" or "chiplet-flap:seed=7") into every runtime, running the whole
-// suite on a degrading machine. -timeout D aborts a hung run after the
+// suite on a degrading machine. -arrivals X pins the overload experiment's
+// open-loop arrival rate to X times machine capacity instead of sweeping
+// 0.5x/1x/2x. -timeout D aborts a hung run after the
 // host-time duration D, dumping all goroutine stacks (and the metrics
 // captures collected so far, under -metrics) for post-mortem.
 // -cpuprofile/-memprofile write pprof profiles for perf work.
@@ -43,6 +45,7 @@ func main() {
 	metrics := flag.String("metrics", "", "capture a metrics document per runtime and write the JSON dump to FILE")
 	parallel := flag.Int("parallel", 1, "run up to N experiments concurrently (output order stays stable by id)")
 	faults := flag.String("faults", "", "inject a fault scenario into every runtime (e.g. \"chaos\" or \"chiplet-flap:seed=7\")")
+	arrivals := flag.Float64("arrivals", 0, "pin the overload experiment's arrival rate to this multiple of capacity (0 = sweep 0.5x/1x/2x)")
 	hangAfter := flag.Duration("timeout", 0, "abort after host-time D with goroutine stacks (0 = no limit)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
 	memprofile := flag.String("memprofile", "", "write a heap profile to FILE at exit")
@@ -73,6 +76,7 @@ func main() {
 		o.Obs = &harness.ObsSink{}
 	}
 	o.Faults = *faults
+	o.ArrivalLoad = *arrivals
 	if *hangAfter > 0 {
 		watchdog(*hangAfter, o.Obs)
 	}

@@ -189,7 +189,7 @@ func cmdTop(args []string) {
 
 	// Per-chiplet table from the chiplet-labelled samples.
 	type row struct {
-		hits, misses, evicts       float64
+		hits, misses, evicts        float64
 		fillLocal, fillRemote, dram float64
 	}
 	rows := map[int]*row{}

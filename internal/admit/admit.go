@@ -1,0 +1,264 @@
+// Package admit implements the serving-side robustness kit of the
+// runtime's open-loop job service: bounded admission queues with pluggable
+// backpressure policies (block, reject, deadline-aware shedding),
+// per-chiplet circuit breakers driven by fault-plan state and observed
+// slowdown, a histogram-quantile service-time estimator, and seeded
+// virtual-time arrival processes.
+//
+// Everything in this package operates in virtual time and is a pure
+// function of its inputs plus explicit seeds: two identical runs make
+// byte-identical admission decisions. The package knows nothing about the
+// runtime's task machinery — internal/core supplies the payloads and
+// drives the state machines from its scheduling loop.
+package admit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Policy selects what a full admission queue (or a hopeless deadline) does
+// to an arriving job.
+type Policy uint8
+
+const (
+	// Block leaves the arrival waiting upstream until the queue has
+	// space: nothing is ever dropped, and under sustained overload
+	// latency grows without bound — the no-admission-control baseline.
+	Block Policy = iota
+	// Reject refuses arrivals that find the queue full with a typed
+	// error; admitted jobs see bounded queueing.
+	Reject
+	// Shed is Reject plus deadline-awareness: arrivals whose remaining
+	// deadline budget is already below their estimated service time are
+	// dropped immediately (they could only waste capacity), and a full
+	// queue prefers evicting the entry with the worst deadline prospects
+	// over refusing a more urgent arrival.
+	Shed
+)
+
+// String names the policy for reports and flags.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Reject:
+		return "reject"
+	case Shed:
+		return "shed"
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// ParsePolicy maps a flag string to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "reject":
+		return Reject, nil
+	case "shed":
+		return Shed, nil
+	}
+	return Block, fmt.Errorf("admit: unknown policy %q (have block, reject, shed)", s)
+}
+
+// Typed admission errors. Callers match with errors.Is.
+var (
+	// ErrQueueFull reports an arrival refused because the admission
+	// queue was at capacity (Reject policy, or Shed with no worse victim).
+	ErrQueueFull = errors.New("admit: queue full")
+	// ErrHopeless reports an arrival or queued entry dropped because its
+	// remaining deadline budget was below its estimated service time.
+	ErrHopeless = errors.New("admit: deadline budget below estimated service time")
+	// ErrExpired reports a queued entry dropped because its deadline had
+	// already passed when it reached the head of the queue.
+	ErrExpired = errors.New("admit: deadline expired before dispatch")
+	// ErrWouldBlock reports that a Block-policy queue is full; the caller
+	// must hold the arrival upstream and re-offer it when space frees.
+	ErrWouldBlock = errors.New("admit: queue full (arrival blocked upstream)")
+)
+
+// Entry is one queued admission candidate.
+type Entry struct {
+	// Seq is the arrival sequence number; it breaks ordering ties so the
+	// queue is deterministic.
+	Seq uint64
+	// Priority orders dispatch: higher runs first.
+	Priority int
+	// Arrival is the virtual arrival time.
+	Arrival int64
+	// Deadline is the absolute virtual-time deadline (0 = none).
+	Deadline int64
+	// Est is the estimated service time in virtual ns.
+	Est int64
+	// Payload is the caller's job handle.
+	Payload any
+}
+
+// slack returns the entry's deadline slack at time now; entries without a
+// deadline have unbounded slack.
+func (e *Entry) slack(now int64) int64 {
+	if e.Deadline == 0 {
+		return 1<<63 - 1
+	}
+	return e.Deadline - now - e.Est
+}
+
+// hopeless reports whether the entry can no longer meet its deadline at
+// time now, given its service estimate.
+func (e *Entry) hopeless(now int64) bool {
+	return e.Deadline != 0 && e.Deadline-now < e.Est
+}
+
+// before orders entries for dispatch: higher priority first, then earlier
+// deadline (0 sorts last), then arrival sequence.
+func (e *Entry) before(o *Entry) bool {
+	if e.Priority != o.Priority {
+		return e.Priority > o.Priority
+	}
+	ed, od := e.Deadline, o.Deadline
+	if ed == 0 {
+		ed = 1<<63 - 1
+	}
+	if od == 0 {
+		od = 1<<63 - 1
+	}
+	if ed != od {
+		return ed < od
+	}
+	return e.Seq < o.Seq
+}
+
+// Queue is a bounded priority admission queue. It is not goroutine-safe:
+// the owner (the job service) serializes access under its own lock, which
+// in deterministic runs is in turn serialized by the runtime's turn baton.
+type Queue struct {
+	cap    int
+	policy Policy
+	h      []Entry // binary heap ordered by Entry.before
+}
+
+// NewQueue builds a queue with the given capacity (minimum 1) and policy.
+func NewQueue(capacity int, policy Policy) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{cap: capacity, policy: policy}
+}
+
+// Len returns the number of queued entries.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return q.cap }
+
+// Policy returns the queue's backpressure policy.
+func (q *Queue) Policy() Policy { return q.policy }
+
+// Offer decides admission for e at virtual time now. On success it returns
+// (nil, nil). A non-nil error classifies the refusal (ErrWouldBlock,
+// ErrQueueFull, ErrHopeless). Under the Shed policy a full queue may admit
+// e by evicting the entry with the least deadline slack; the evicted entry
+// is returned so the caller can account for it.
+func (q *Queue) Offer(now int64, e Entry) (evicted *Entry, err error) {
+	if q.policy == Shed && e.hopeless(now) {
+		return nil, ErrHopeless
+	}
+	if len(q.h) < q.cap {
+		q.push(e)
+		return nil, nil
+	}
+	switch q.policy {
+	case Block:
+		return nil, ErrWouldBlock
+	case Reject:
+		return nil, ErrQueueFull
+	}
+	// Shed: evict the queued entry with the least slack — but only when
+	// the arrival's own slack is larger, so shedding always discards the
+	// job least likely to meet its deadline.
+	vi := q.worst(now)
+	if vi < 0 || q.h[vi].slack(now) >= e.slack(now) {
+		return nil, ErrQueueFull
+	}
+	v := q.h[vi]
+	q.remove(vi)
+	q.push(e)
+	return &v, nil
+}
+
+// Pop removes and returns the best dispatchable entry. ok is false when
+// the queue is empty.
+func (q *Queue) Pop() (e Entry, ok bool) {
+	if len(q.h) == 0 {
+		return Entry{}, false
+	}
+	e = q.h[0]
+	q.remove(0)
+	return e, true
+}
+
+// worst returns the index of the entry with the least deadline slack at
+// now (-1 when empty). Ties break on the dispatch order, reversed.
+func (q *Queue) worst(now int64) int {
+	wi := -1
+	for i := range q.h {
+		if wi < 0 {
+			wi = i
+			continue
+		}
+		si, sw := q.h[i].slack(now), q.h[wi].slack(now)
+		if si < sw || (si == sw && q.h[wi].before(&q.h[i])) {
+			wi = i
+		}
+	}
+	return wi
+}
+
+// Heap plumbing (container/heap without the interface boxing).
+
+func (q *Queue) push(e Entry) {
+	q.h = append(q.h, e)
+	i := len(q.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.h[i].before(&q.h[p]) {
+			break
+		}
+		q.h[i], q.h[p] = q.h[p], q.h[i]
+		i = p
+	}
+}
+
+func (q *Queue) remove(i int) {
+	last := len(q.h) - 1
+	q.h[i] = q.h[last]
+	q.h = q.h[:last]
+	if i == last {
+		return
+	}
+	// Sift down, then up (the moved element can go either way).
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < last && q.h[l].before(&q.h[m]) {
+			m = l
+		}
+		if r < last && q.h[r].before(&q.h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q.h[i], q.h[m] = q.h[m], q.h[i]
+		i = m
+	}
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.h[i].before(&q.h[p]) {
+			break
+		}
+		q.h[i], q.h[p] = q.h[p], q.h[i]
+		i = p
+	}
+}

@@ -1,0 +1,67 @@
+package admit
+
+import (
+	"math"
+
+	"charm/internal/rng"
+)
+
+// ArrivalProcess yields successive virtual arrival times, monotonically
+// non-decreasing. ok is false once the process is exhausted.
+type ArrivalProcess interface {
+	Next() (at int64, ok bool)
+}
+
+// Poisson is a seeded open-loop Poisson arrival process: inter-arrival
+// gaps are exponential with the given mean, drawn from a SplitMix64
+// stream, so the same seed replays the same arrival sequence exactly.
+type Poisson struct {
+	state uint64
+	mean  float64
+	t     float64
+	left  int
+}
+
+// NewPoisson builds a process of n arrivals with mean inter-arrival gap
+// meanGap virtual ns (minimum 1), starting at virtual time ~meanGap.
+func NewPoisson(seed uint64, meanGap int64, n int) *Poisson {
+	if meanGap < 1 {
+		meanGap = 1
+	}
+	return &Poisson{state: rng.Seed(seed, 0x4a21), mean: float64(meanGap), left: n}
+}
+
+// Next returns the next arrival time.
+func (p *Poisson) Next() (int64, bool) {
+	if p.left <= 0 {
+		return 0, false
+	}
+	p.left--
+	// Inverse-CDF exponential draw; 1-u is in (0,1] so the log is finite.
+	gap := -math.Log(1-rng.Float64(&p.state)) * p.mean
+	if gap < 1 {
+		gap = 1
+	}
+	p.t += gap
+	return int64(p.t), true
+}
+
+// Trace replays a fixed arrival-time sequence (a recorded trace).
+type Trace struct {
+	at []int64
+	i  int
+}
+
+// NewTrace builds a trace process over the given (sorted, non-decreasing)
+// arrival times. The slice is not copied.
+func NewTrace(at []int64) *Trace { return &Trace{at: at} }
+
+// Next returns the next arrival time.
+func (t *Trace) Next() (int64, bool) {
+	if t.i >= len(t.at) {
+		return 0, false
+	}
+	v := t.at[t.i]
+	t.i++
+	return v, true
+}

@@ -1,0 +1,225 @@
+package admit
+
+import (
+	"charm/internal/fault"
+	"charm/internal/topology"
+)
+
+// BreakerState is the classic three-state circuit-breaker machine, driven
+// here by virtual time and per-chiplet health signals rather than RPC
+// failures.
+type BreakerState uint8
+
+const (
+	// BreakerClosed admits work normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses all placements on the chiplet.
+	BreakerOpen
+	// BreakerHalfOpen admits a bounded number of probe placements; the
+	// next evaluation decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String names the state for reports.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "?"
+}
+
+// BreakerConfig tunes the per-chiplet breakers. Slowdowns are expressed in
+// milli-units like the fault plans: 1000 = nominal speed, 2000 = 2× slower.
+type BreakerConfig struct {
+	// TripMilli opens the breaker when the chiplet's worst health signal
+	// (plan-declared or observed) reaches it.
+	TripMilli int64
+	// HealMilli transitions Open→HalfOpen once the fault plan's declared
+	// slowdown drops back to it or below ("the plan heals").
+	HealMilli int64
+	// RetryAfter transitions Open→HalfOpen after this much virtual time
+	// even without plan healing, so purely observation-tripped breakers
+	// can probe their way back.
+	RetryAfter int64
+	// Probes is the half-open placement budget per probe round.
+	Probes int
+	// MinSamples is how many execution observations a chiplet needs in an
+	// evaluation window before its observed slowdown is trusted.
+	MinSamples int64
+}
+
+// DefaultBreakerConfig returns the tuning used by the runtime: trip at
+// 2.5× slowdown, heal below 1.4×, re-probe after 2ms of virtual time.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{TripMilli: 2500, HealMilli: 1400, RetryAfter: 2_000_000, Probes: 4, MinSamples: 8}
+}
+
+func (c *BreakerConfig) fill() {
+	d := DefaultBreakerConfig()
+	if c.TripMilli <= 0 {
+		c.TripMilli = d.TripMilli
+	}
+	if c.HealMilli <= 0 {
+		c.HealMilli = d.HealMilli
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = d.RetryAfter
+	}
+	if c.Probes <= 0 {
+		c.Probes = d.Probes
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = d.MinSamples
+	}
+}
+
+// Breaker is one chiplet's circuit breaker. Not goroutine-safe; the job
+// service drives it under its own lock.
+type Breaker struct {
+	cfg      BreakerConfig
+	state    BreakerState
+	openedAt int64
+	probes   int
+	trips    int64
+}
+
+// State returns the current state.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 { return b.trips }
+
+// Allow reports whether one placement may target the chiplet now. In
+// HalfOpen it spends one unit of the probe budget per call.
+func (b *Breaker) Allow() bool {
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+			return true
+		}
+	}
+	return false
+}
+
+// Eval advances the state machine at virtual time now. planMilli is the
+// fault plan's declared slowdown for the chiplet; obsMilli is the
+// PMU-observed slowdown (0 when the evaluation window had too few
+// samples). The effective health signal is the worst of the two.
+func (b *Breaker) Eval(now, planMilli, obsMilli int64) {
+	milli := planMilli
+	if obsMilli > milli {
+		milli = obsMilli
+	}
+	switch b.state {
+	case BreakerClosed:
+		if milli >= b.cfg.TripMilli {
+			b.state = BreakerOpen
+			b.openedAt = now
+			b.trips++
+		}
+	case BreakerOpen:
+		// Half-open when the plan declares the chiplet healed, or after
+		// the virtual retry timeout (observation-only trips have no plan
+		// signal to wait for).
+		if planMilli <= b.cfg.HealMilli || now-b.openedAt >= b.cfg.RetryAfter {
+			b.state = BreakerHalfOpen
+			b.probes = b.cfg.Probes
+		}
+	case BreakerHalfOpen:
+		if milli >= b.cfg.TripMilli {
+			b.state = BreakerOpen
+			b.openedAt = now
+			b.trips++
+		} else if milli <= b.cfg.HealMilli {
+			b.state = BreakerClosed
+		} else {
+			// Ambiguous: keep probing with a fresh budget.
+			b.probes = b.cfg.Probes
+		}
+	}
+}
+
+// Set is the per-chiplet breaker bank.
+type Set struct {
+	cfg BreakerConfig
+	bs  []Breaker
+}
+
+// NewSet builds a bank of n breakers (one per chiplet).
+func NewSet(n int, cfg BreakerConfig) *Set {
+	cfg.fill()
+	s := &Set{cfg: cfg, bs: make([]Breaker, n)}
+	for i := range s.bs {
+		s.bs[i].cfg = cfg
+	}
+	return s
+}
+
+// Config returns the (filled) configuration the set was built with.
+func (s *Set) Config() BreakerConfig { return s.cfg }
+
+// Len returns the number of breakers.
+func (s *Set) Len() int { return len(s.bs) }
+
+// Allow reports whether chiplet ch may receive one placement now.
+func (s *Set) Allow(ch int) bool {
+	if ch < 0 || ch >= len(s.bs) {
+		return true
+	}
+	return s.bs[ch].Allow()
+}
+
+// State returns chiplet ch's breaker state.
+func (s *Set) State(ch int) BreakerState {
+	if ch < 0 || ch >= len(s.bs) {
+		return BreakerClosed
+	}
+	return s.bs[ch].state
+}
+
+// Trips sums trip counts over all breakers.
+func (s *Set) Trips() int64 {
+	var n int64
+	for i := range s.bs {
+		n += s.bs[i].trips
+	}
+	return n
+}
+
+// Open counts breakers currently not Closed.
+func (s *Set) Open() int {
+	n := 0
+	for i := range s.bs {
+		if s.bs[i].state != BreakerClosed {
+			n++
+		}
+	}
+	return n
+}
+
+// EvalPlan advances every breaker at virtual time now. The plan-declared
+// slowdown per chiplet is the worst of its thermal throttle and its
+// fabric-link brownout factors; obsMilli (may be nil) supplies the
+// PMU-observed slowdown per chiplet, 0 meaning "no signal this window".
+func (s *Set) EvalPlan(now int64, plan *fault.Plan, obsMilli func(ch int) int64) {
+	for i := range s.bs {
+		ch := topology.ChipletID(i)
+		pm := plan.ThermalMilli(ch, now)
+		if lm := plan.ChipletLinkMilli(ch, now); lm > pm {
+			pm = lm
+		}
+		var om int64
+		if obsMilli != nil {
+			om = obsMilli(i)
+		}
+		s.bs[i].Eval(now, pm, om)
+	}
+}

@@ -20,10 +20,15 @@ type coroutine struct {
 }
 
 // yield suspends the coroutine until a worker resumes it. Called from the
-// coroutine goroutine.
+// coroutine goroutine. If the task's job was cancelled while suspended,
+// the resume unwinds the coroutine stack instead of returning to the task
+// body — the cooperative cancellation point of the job service.
 func (co *coroutine) yield() {
 	co.status <- true
 	<-co.resume
+	if co.ctx.task.jobCancelled() {
+		panic(cancelUnwind{})
+	}
 }
 
 // runCoroutine starts or resumes a coroutine task and processes its next
@@ -64,7 +69,11 @@ func (w *Worker) runCoroutine(t *Task) {
 	}
 	if err := t.err; err != nil {
 		t.err = nil
-		if !w.retryTask(t, err) {
+		if t.jobCancelled() {
+			// A cancelled job's coroutine unwound (or failed): discard, do
+			// not spend retries or a fresh stack on a dead job.
+			w.discardCancelled(t)
+		} else if !w.retryTask(t, err) {
 			w.failTask(t, err)
 		}
 		return

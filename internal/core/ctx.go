@@ -102,6 +102,11 @@ func (c *Ctx) Alloc(size int64) mem.Addr {
 // task it is only a scheduling check point (the Alg. 1 timer).
 func (c *Ctx) Yield() {
 	if c.co == nil {
+		if c.task != nil && c.task.jobCancelled() {
+			// Cooperative cancellation point: unwind the task body; the
+			// worker's recover path discards instead of retrying.
+			panic(cancelUnwind{})
+		}
 		// Scheduling point: honor the virtual-time gate (so concurrent
 		// tasks interleave at window granularity even mid-task) and run
 		// the Alg. 1 timer. Under lockstep the turn cycles instead, which
@@ -118,6 +123,7 @@ func (c *Ctx) Yield() {
 // current worker's deque (stealable, so load balancing distributes it).
 func (c *Ctx) Spawn(fn func(*Ctx)) {
 	t := c.w.rt.newTask(fn, c.task.grp, c.w.clock.Now(), false, c.w.id)
+	t.job = c.task.job
 	c.task.grp.add(1)
 	c.w.rt.met.spawns.Inc(c.w.id)
 	c.w.deque.Push(t)
@@ -126,6 +132,7 @@ func (c *Ctx) Spawn(fn func(*Ctx)) {
 // SpawnCo schedules fn as a coroutine task (suspendable via Yield).
 func (c *Ctx) SpawnCo(fn func(*Ctx)) {
 	t := c.w.rt.newTask(fn, c.task.grp, c.w.clock.Now(), true, c.w.id)
+	t.job = c.task.job
 	c.task.grp.add(1)
 	c.w.rt.met.spawns.Inc(c.w.id)
 	c.w.deque.Push(t)
@@ -147,6 +154,7 @@ func (c *Ctx) CallAsync(target int, fn func(*Ctx)) {
 	delay := rt.M.Fabric.MessageDelay(c.w.Core(), tw.Core(), c.w.clock.Now(), 64)
 	t := rt.newTask(fn, c.task.grp, c.w.clock.Now()+delay, false, target)
 	t.pinned = true
+	t.job = c.task.job
 	t.delegated = true
 	t.hops = c.task.hops + 1
 	rt.met.delegations.Inc(c.w.id)
@@ -181,6 +189,9 @@ func (c *Ctx) Call(target int, fn func(*Ctx)) {
 	t.pinned = true
 	t.grp = nil
 	t.onDone = g
+	// Propagate the job so a cancelled job's RPC body is discarded (its
+	// onDone still fires, releasing the caller's poll loop below).
+	t.job = c.task.job
 	t.delegated = true
 	t.hops = c.task.hops + 1
 	rt.met.delegations.Inc(c.w.id)

@@ -117,6 +117,13 @@ func (w *Worker) checkFault() bool {
 func (w *Worker) drainToLive(now int64) {
 	next := w.id
 	reroute := func(t *Task) {
+		if t.jobCancelled() && (t.co == nil || !t.co.started) {
+			// A cancelled job's never-started task dies here instead of
+			// migrating; a started coroutine is re-homed so a live worker
+			// can resume-and-unwind its stack.
+			w.discardCancelled(t)
+			return
+		}
 		next = w.rt.nextLiveWorker(next, now)
 		if t.pinned {
 			t.home = next

@@ -1,0 +1,909 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"charm/internal/admit"
+	"charm/internal/obs"
+)
+
+// This file implements the open-loop job service: jobs — multi-stage
+// groups of tasks with a priority and a virtual-time deadline — arrive
+// from a seeded arrival source (or external SubmitJob calls) while the
+// machine runs, pass a bounded admission queue with a pluggable
+// backpressure policy (block / reject / deadline-aware shed), and are
+// dispatched round-robin onto workers, skipping offlined cores and
+// chiplets whose circuit breaker is open. Cancellation is cooperative:
+// a cancelled job's queued tasks are discarded wherever a worker finds
+// them (deque, inbox, fault drain, retry), and its running coroutines
+// unwind at their next Yield point, so a dead job never consumes a fresh
+// coroutine stack.
+//
+// Determinism: all admission, dispatch, and breaker state lives behind
+// svc.mu, and every mutation happens inside a worker's scheduling step.
+// Under deterministic lockstep those steps are serialized by the turn
+// baton in virtual-clock order, so the whole open-loop run — arrivals
+// included — is a pure function of the seeds. (External SubmitJob calls
+// pause the fleet like submitWait, but their timing depends on the host;
+// deterministic experiments drive arrivals from a Source instead.)
+
+// JobStage is one stage of a job: a set of tasks that run in parallel.
+// Stages execute in order; stage k+1 starts when every task of stage k
+// (and everything those tasks spawned) has finished — a simple series-
+// parallel DAG, which is what the paper's workloads are built from.
+type JobStage []func(*Ctx)
+
+// JobSpec describes one job submitted to the open-loop service.
+type JobSpec struct {
+	// Name labels the job in traces (optional).
+	Name string
+	// Priority orders admission and dispatch: higher runs first.
+	Priority int
+	// Deadline is the job's latency budget in virtual ns relative to its
+	// arrival (0 = no deadline).
+	Deadline int64
+	// Cost is the caller's estimate of the job's total service time in
+	// virtual ns; used by deadline-aware shedding until the service-time
+	// estimator has enough completed-job samples.
+	Cost int64
+	// Coro runs the job's tasks as suspendable coroutines (cancellation
+	// points at every Yield).
+	Coro bool
+	// Stages are the job's task stages, run in order.
+	Stages []JobStage
+}
+
+// JobState is a job's lifecycle state.
+type JobState int32
+
+const (
+	// JobQueued: admitted, waiting for dispatch.
+	JobQueued JobState = iota
+	// JobRunning: dispatched, tasks executing.
+	JobRunning
+	// JobCompleted: all stages finished.
+	JobCompleted
+	// JobFailed: a task failed past its retry budget.
+	JobFailed
+	// JobCancelled: cancelled before completion.
+	JobCancelled
+	// JobRejected: refused at admission (queue full, Reject policy).
+	JobRejected
+	// JobShed: dropped by deadline-aware shedding (hopeless budget or
+	// evicted for a more viable arrival).
+	JobShed
+	// JobExpired: deadline passed while queued (dispatch-time check).
+	JobExpired
+)
+
+// String names the state.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobCompleted:
+		return "completed"
+	case JobFailed:
+		return "failed"
+	case JobCancelled:
+		return "cancelled"
+	case JobRejected:
+		return "rejected"
+	case JobShed:
+		return "shed"
+	case JobExpired:
+		return "expired"
+	}
+	return fmt.Sprintf("JobState(%d)", int32(s))
+}
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool { return s != JobQueued && s != JobRunning }
+
+// Job is a submitted job's handle.
+type Job struct {
+	id   uint64
+	spec JobSpec
+	svc  *JobService
+
+	state     atomic.Int32
+	cancelled atomic.Bool
+
+	arrival  int64        // virtual arrival time
+	deadline int64        // absolute deadline (0 = none)
+	started  int64        // dispatch time (set before state flips to Running)
+	finished atomic.Int64 // completion time (any terminal state)
+	stage    int          // next stage to dispatch; guarded by svc.mu
+
+	err  atomic.Pointer[TaskError]
+	done chan struct{}
+}
+
+// ID returns the job's service-wide sequence number.
+func (j *Job) ID() uint64 { return j.id }
+
+// Name returns the spec's label.
+func (j *Job) Name() string { return j.spec.Name }
+
+// Priority returns the job's priority.
+func (j *Job) Priority() int { return j.spec.Priority }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState { return JobState(j.state.Load()) }
+
+// Arrival returns the virtual arrival time.
+func (j *Job) Arrival() int64 { return j.arrival }
+
+// Deadline returns the absolute virtual-time deadline (0 = none).
+func (j *Job) Deadline() int64 { return j.deadline }
+
+// Finished returns the virtual time the job reached a terminal state
+// (0 while still queued or running).
+func (j *Job) Finished() int64 { return j.finished.Load() }
+
+// Latency returns arrival→finish in virtual ns (0 until terminal).
+func (j *Job) Latency() int64 {
+	if f := j.finished.Load(); f > 0 {
+		return f - j.arrival
+	}
+	return 0
+}
+
+// MetDeadline reports whether the job completed within its deadline.
+// Deadline-free jobs meet trivially when completed.
+func (j *Job) MetDeadline() bool {
+	if JobState(j.state.Load()) != JobCompleted {
+		return false
+	}
+	return j.deadline == 0 || j.finished.Load() <= j.deadline
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Err returns the task failure that terminated the job (nil otherwise).
+func (j *Job) Err() error {
+	if e := j.err.Load(); e != nil {
+		return e
+	}
+	return nil
+}
+
+// Cancel requests cooperative cancellation: queued tasks are discarded
+// where workers find them, running coroutines unwind at their next Yield,
+// and retries/re-homing drop the job's tasks instead of re-queueing them.
+// Safe to call from any goroutine and idempotent; cancelling a terminal
+// job is a no-op.
+func (j *Job) Cancel() { j.cancelled.Store(true) }
+
+// JobSource produces the open-loop arrival stream: successive (arrival
+// time, spec) pairs in non-decreasing virtual time. Next is called by the
+// service with its lock held; implementations must be single-threaded and
+// deterministic (seeded).
+type JobSource interface {
+	Next() (at int64, spec JobSpec, ok bool)
+}
+
+// SpecSource adapts an admit.ArrivalProcess plus a spec generator into a
+// JobSource — the usual way to build a seeded Poisson or trace workload.
+type SpecSource struct {
+	// Arrivals yields the arrival times.
+	Arrivals admit.ArrivalProcess
+	// Gen builds the i-th job's spec (i counts from 0).
+	Gen func(i int) JobSpec
+	n   int
+}
+
+// Next implements JobSource.
+func (s *SpecSource) Next() (int64, JobSpec, bool) {
+	at, ok := s.Arrivals.Next()
+	if !ok {
+		return 0, JobSpec{}, false
+	}
+	spec := s.Gen(s.n)
+	s.n++
+	return at, spec, true
+}
+
+// JobServiceOptions configure ServeJobs.
+type JobServiceOptions struct {
+	// QueueCapacity bounds the admission queue (0 = 1024).
+	QueueCapacity int
+	// MaxInFlight bounds concurrently running jobs (0 = 2×workers).
+	MaxInFlight int
+	// Policy selects the backpressure policy for a full queue (and, for
+	// Shed, deadline-aware dropping). Default admit.Block.
+	Policy admit.Policy
+	// Source is the open-loop arrival stream (nil = external SubmitJob
+	// only).
+	Source JobSource
+	// Breakers enables per-chiplet circuit breakers.
+	Breakers bool
+	// Breaker tunes the breakers (zero fields select defaults).
+	Breaker admit.BreakerConfig
+	// EstQuantile is the service-time estimator's quantile (0 = 0.5).
+	EstQuantile float64
+	// EstMinSamples is the sample count before estimates replace the
+	// spec's Cost hint (0 = 16).
+	EstMinSamples int64
+	// EvalInterval is the breaker/telemetry evaluation period in virtual
+	// ns (0 = the runtime's scheduler timer).
+	EvalInterval int64
+}
+
+// JobStats summarizes a service's admission ledger.
+type JobStats struct {
+	// Submitted counts every arrival presented to admission.
+	Submitted int64
+	// Admitted entered the queue (including later-evicted entries).
+	Admitted int64
+	// Completed ran all stages; Met completed within their deadline.
+	Completed int64
+	Met       int64
+	// Rejected were refused with ErrQueueFull/ErrWouldBlock; Shed were
+	// dropped by deadline-aware shedding (hopeless or evicted); Expired
+	// timed out in the queue; Cancelled and Failed terminated abnormally
+	// after admission.
+	Rejected  int64
+	Shed      int64
+	Expired   int64
+	Cancelled int64
+	Failed    int64
+	// TasksCancelled counts individual tasks discarded by cancellation.
+	TasksCancelled int64
+	// BreakerTrips counts breaker Closed→Open transitions; BreakersOpen
+	// is the current not-Closed count.
+	BreakerTrips int64
+	BreakersOpen int
+	// MaxQueue is the admission queue's high-water mark.
+	MaxQueue int
+}
+
+// JobService runs the open-loop admission/dispatch pipeline of one
+// runtime. Obtain one with Runtime.ServeJobs.
+type JobService struct {
+	rt   *Runtime
+	opts JobServiceOptions
+
+	// nextWork is the earliest virtual time the pump could have work to
+	// do (math.MaxInt64 = wait for a completion event). Read lock-free by
+	// every worker step; written under mu.
+	nextWork atomic.Int64
+
+	mu  sync.Mutex
+	q   *admit.Queue
+	est *admit.Estimator
+	brk *admit.Set // nil when breakers are off
+
+	// Arrival cursor: the next pending arrival pulled from Source.
+	pending    *Job
+	srcOK      bool
+	seq        uint64
+	rr         int // round-robin dispatch cursor
+	inflight   int
+	lastEval   int64
+	drainOnce  sync.Once
+	drained    chan struct{}
+	stats      JobStats
+	maxDepth   []int64 // per-chiplet queue-depth high-water mark
+	jobs       []*Job
+	latByPrio  map[int]*obs.Histogram
+	tasksCanc  atomic.Int64   // cancelled-task count (updated off-lock)
+	chExecSum  []atomic.Int64 // per-chiplet job-task exec time
+	chExecCnt  []atomic.Int64
+	lastChSum  []int64 // previous eval snapshots (window deltas)
+	lastChCnt  []int64
+	everServed bool
+}
+
+// ServeJobs installs an open-loop job service on the runtime. At most one
+// service per runtime; a second call returns an error. May be called
+// before or after Start, but not after Stop.
+func (rt *Runtime) ServeJobs(opts JobServiceOptions) (*JobService, error) {
+	if rt.lifecycle.Load() == lcStopped {
+		return nil, ErrFinalized
+	}
+	if opts.QueueCapacity <= 0 {
+		opts.QueueCapacity = 1024
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 2 * len(rt.workers)
+	}
+	if opts.EstQuantile <= 0 {
+		opts.EstQuantile = 0.5
+	}
+	if opts.EstMinSamples <= 0 {
+		opts.EstMinSamples = 16
+	}
+	if opts.EvalInterval <= 0 {
+		opts.EvalInterval = rt.opts.SchedulerTimer
+	}
+	nch := rt.M.Topo.NumChiplets()
+	s := &JobService{
+		rt:        rt,
+		opts:      opts,
+		q:         admit.NewQueue(opts.QueueCapacity, opts.Policy),
+		est:       admit.NewEstimator(opts.EstQuantile, opts.EstMinSamples),
+		drained:   make(chan struct{}),
+		maxDepth:  make([]int64, nch),
+		latByPrio: map[int]*obs.Histogram{},
+		chExecSum: make([]atomic.Int64, nch),
+		chExecCnt: make([]atomic.Int64, nch),
+		lastChSum: make([]int64, nch),
+		lastChCnt: make([]int64, nch),
+	}
+	if opts.Breakers {
+		s.brk = admit.NewSet(nch, opts.Breaker)
+	}
+	if opts.Source != nil {
+		s.advanceSource()
+	}
+	s.updateNextWorkLocked()
+	if !rt.svc.CompareAndSwap(nil, s) {
+		return nil, fmt.Errorf("core: runtime already serves jobs")
+	}
+	return s, nil
+}
+
+// JobServer returns the installed job service, or nil.
+func (rt *Runtime) JobServer() *JobService { return rt.svc.Load() }
+
+// SubmitJob submits one job at the current virtual time through the
+// admission pipeline, installing a default job service on first use. It
+// returns the job handle and a typed admission error (admit.ErrQueueFull,
+// admit.ErrWouldBlock, admit.ErrHopeless) when the job was refused — the
+// handle's state then records Rejected/Shed. After Finalize/Stop it
+// returns ErrFinalized.
+func (rt *Runtime) SubmitJob(spec JobSpec) (*Job, error) {
+	if rt.lifecycle.Load() == lcNew {
+		panic("core: runtime not started")
+	}
+	if !rt.submitBegin() {
+		return nil, ErrFinalized
+	}
+	defer rt.submitEnd()
+	svc := rt.svc.Load()
+	if svc == nil {
+		if _, err := rt.ServeJobs(JobServiceOptions{Policy: admit.Reject}); err != nil && rt.svc.Load() == nil {
+			return nil, err
+		}
+		svc = rt.svc.Load()
+	}
+	if err := validateSpec(&spec); err != nil {
+		return nil, err
+	}
+	if rt.ls != nil {
+		rt.ls.pause()
+	}
+	now := rt.MaxWorkerClock()
+	if p := rt.phase.Load(); p > now {
+		now = p
+	}
+	svc.mu.Lock()
+	j, err := svc.admitLocked(now, spec)
+	svc.updateNextWorkLocked()
+	svc.mu.Unlock()
+	if rt.ls != nil {
+		rt.ls.resume()
+	}
+	return j, err
+}
+
+func validateSpec(spec *JobSpec) error {
+	if spec.Deadline < 0 {
+		return fmt.Errorf("core: job %q: negative deadline %d", spec.Name, spec.Deadline)
+	}
+	if spec.Cost < 0 {
+		return fmt.Errorf("core: job %q: negative cost %d", spec.Name, spec.Cost)
+	}
+	return nil
+}
+
+// Stats returns the service's admission ledger.
+func (s *JobService) Stats() JobStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.TasksCancelled = s.tasksCanc.Load()
+	if s.brk != nil {
+		st.BreakerTrips = s.brk.Trips()
+		st.BreakersOpen = s.brk.Open()
+	}
+	return st
+}
+
+// Jobs returns every job the service has seen, in submission order.
+func (s *JobService) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Job(nil), s.jobs...)
+}
+
+// QueueLen returns the current admission-queue length.
+func (s *JobService) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.Len()
+}
+
+// BreakerState returns chiplet ch's breaker state (Closed with breakers
+// disabled).
+func (s *JobService) BreakerState(ch int) admit.BreakerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.brk == nil {
+		return admit.BreakerClosed
+	}
+	return s.brk.State(ch)
+}
+
+// MaxChipletDepth returns the high-water mark of chiplet ch's task-queue
+// depth (inbox + deque sums of its workers, sampled at each evaluation).
+func (s *JobService) MaxChipletDepth(ch int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ch < 0 || ch >= len(s.maxDepth) {
+		return 0
+	}
+	return s.maxDepth[ch]
+}
+
+// Drain blocks until the arrival source is exhausted, the queue is empty,
+// and every admitted job has reached a terminal state. A service without
+// a source drains once all externally submitted jobs finish.
+func (s *JobService) Drain() {
+	<-s.drained
+}
+
+// advanceSource pulls the next arrival from the source into the pending
+// cursor. Caller holds mu (or is still constructing the service).
+func (s *JobService) advanceSource() {
+	at, spec, ok := s.opts.Source.Next()
+	if !ok {
+		s.pending, s.srcOK = nil, false
+		return
+	}
+	if err := validateSpec(&spec); err != nil {
+		panic(err) // a source generating invalid specs is a programming error
+	}
+	s.srcOK = true
+	s.pending = s.newJobLocked(at, spec)
+}
+
+func (s *JobService) newJobLocked(arrival int64, spec JobSpec) *Job {
+	s.seq++
+	j := &Job{
+		id:      s.seq,
+		spec:    spec,
+		svc:     s,
+		arrival: arrival,
+		done:    make(chan struct{}),
+	}
+	if spec.Deadline > 0 {
+		j.deadline = arrival + spec.Deadline
+	}
+	s.jobs = append(s.jobs, j)
+	return j
+}
+
+// admitLocked runs the admission decision for a job arriving at time at.
+// Returns the job handle and the typed refusal error, if any.
+func (s *JobService) admitLocked(at int64, spec JobSpec) (*Job, error) {
+	j := s.newJobLocked(at, spec)
+	return j, s.offerLocked(j)
+}
+
+// offerLocked presents job j to the admission queue.
+func (s *JobService) offerLocked(j *Job) error {
+	s.stats.Submitted++
+	m := s.rt.met
+	est := s.est.Estimate(j.spec.Cost)
+	evicted, err := s.q.Offer(j.arrival, admit.Entry{
+		Seq:      j.id,
+		Priority: j.spec.Priority,
+		Arrival:  j.arrival,
+		Deadline: j.deadline,
+		Est:      est,
+		Payload:  j,
+	})
+	if evicted != nil {
+		v := evicted.Payload.(*Job)
+		s.stats.Shed++
+		m.jobsShed.Add(0, 1)
+		s.finalizeLocked(v, JobShed, j.arrival)
+	}
+	switch {
+	case err == nil:
+		s.stats.Admitted++
+		m.jobsAdmitted.Add(0, 1)
+		if n := s.q.Len(); n > s.stats.MaxQueue {
+			s.stats.MaxQueue = n
+		}
+		m.jobQueueDepth.Set(0, int64(s.q.Len()))
+		return nil
+	case err == admit.ErrHopeless:
+		s.stats.Shed++
+		m.jobsShed.Add(0, 1)
+		s.finalizeLocked(j, JobShed, j.arrival)
+	default: // ErrQueueFull, ErrWouldBlock
+		s.stats.Rejected++
+		m.jobsRejected.Add(0, 1)
+		s.finalizeLocked(j, JobRejected, j.arrival)
+	}
+	return err
+}
+
+// finalizeLocked moves j to a terminal state at virtual time now.
+// Caller holds mu and has already updated the relevant counters.
+func (s *JobService) finalizeLocked(j *Job, st JobState, now int64) {
+	if JobState(j.state.Load()).terminal() {
+		return
+	}
+	j.finished.Store(now)
+	j.state.Store(int32(st))
+	close(j.done)
+}
+
+// updateNextWorkLocked recomputes the pump wake-up time. Caller holds mu.
+func (s *JobService) updateNextWorkLocked() {
+	next := int64(math.MaxInt64)
+	if s.q.Len() > 0 && s.inflight < s.opts.MaxInFlight {
+		next = 0 // dispatchable right now
+	}
+	if s.pending != nil && (s.q.Len() < s.q.Cap() || s.q.Policy() != admit.Block) {
+		// The pending arrival can be decided at its arrival time. A
+		// Block-policy arrival facing a full queue waits for space, which
+		// only a dispatch or completion (nextWork=0 paths) can create.
+		if s.pending.arrival < next {
+			next = s.pending.arrival
+		}
+	}
+	if s.inflight > 0 || s.q.Len() > 0 || s.srcOK {
+		if due := s.lastEval + s.opts.EvalInterval; due < next {
+			next = due
+		}
+	}
+	s.nextWork.Store(next)
+}
+
+// checkDrainedLocked closes the drained channel once nothing is pending.
+func (s *JobService) checkDrainedLocked() {
+	if !s.srcOK && s.pending == nil && s.q.Len() == 0 && s.inflight == 0 && s.everServed {
+		s.drainOnce.Do(func() { close(s.drained) })
+	}
+}
+
+// pumpJobs is the worker-side entry: admit due arrivals, evaluate
+// breakers, dispatch queued jobs. The fast path — no service, or nothing
+// due yet — is one or two atomic loads. Returns true when it did work.
+func (w *Worker) pumpJobs() bool {
+	s := w.rt.svc.Load()
+	if s == nil {
+		return false
+	}
+	now := w.clock.Now()
+	if s.nextWork.Load() > now {
+		return false
+	}
+	return s.pump(w, now)
+}
+
+func (s *JobService) pump(w *Worker, now int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	did := false
+	s.everServed = true
+
+	// 1. Admit every arrival due by now. A Block-policy arrival that
+	// finds the queue full stays in the pending cursor — held upstream —
+	// and re-offers when space frees.
+	for s.pending != nil && s.pending.arrival <= now {
+		j := s.pending
+		if s.q.Policy() == admit.Block && s.q.Len() == s.q.Cap() {
+			break
+		}
+		err := s.offerLocked(j)
+		if err == admit.ErrWouldBlock {
+			break
+		}
+		did = true
+		if s.opts.Source != nil {
+			s.advanceSource()
+		} else {
+			s.pending, s.srcOK = nil, false
+		}
+	}
+
+	// 2. Periodic evaluation: per-chiplet queue-depth high-water marks,
+	// plus breaker state from fault-plan and observed slowdown.
+	if now-s.lastEval >= s.opts.EvalInterval {
+		s.evalLocked(now)
+		did = true
+	}
+
+	// 3. Dispatch while capacity allows.
+	for s.inflight < s.opts.MaxInFlight {
+		e, ok := s.q.Pop()
+		if !ok {
+			break
+		}
+		did = true
+		s.rt.met.jobQueueDepth.Set(0, int64(s.q.Len()))
+		j := e.Payload.(*Job)
+		m := s.rt.met
+		if j.cancelled.Load() {
+			s.stats.Cancelled++
+			m.jobsCancelled.Add(0, 1)
+			s.finalizeLocked(j, JobCancelled, now)
+			continue
+		}
+		if s.q.Policy() == admit.Shed {
+			// Dispatch-time re-check: the queueing delay may have consumed
+			// the budget since admission.
+			if j.deadline != 0 && j.deadline <= now {
+				s.stats.Expired++
+				m.jobsExpired.Add(0, 1)
+				s.finalizeLocked(j, JobExpired, now)
+				continue
+			}
+			if j.deadline != 0 && j.deadline-now < s.est.Estimate(j.spec.Cost) {
+				s.stats.Shed++
+				m.jobsShed.Add(0, 1)
+				s.finalizeLocked(j, JobShed, now)
+				continue
+			}
+		}
+		s.startLocked(j, now)
+	}
+
+	// A Block-policy arrival may have been waiting on the space the
+	// dispatch loop just created.
+	for s.pending != nil && s.pending.arrival <= now && s.q.Len() < s.q.Cap() {
+		j := s.pending
+		if s.offerLocked(j) == admit.ErrWouldBlock {
+			break
+		}
+		did = true
+		if s.opts.Source != nil {
+			s.advanceSource()
+		} else {
+			s.pending, s.srcOK = nil, false
+		}
+	}
+
+	s.updateNextWorkLocked()
+	s.checkDrainedLocked()
+	return did
+}
+
+// evalLocked runs the periodic telemetry and breaker evaluation at
+// virtual time now. Depth high-water marks are sampled even with
+// breakers off, so breaker-on/off runs compare like for like.
+func (s *JobService) evalLocked(now int64) {
+	s.lastEval = now
+	topo := s.rt.M.Topo
+	// Queue-depth high-water marks per chiplet (telemetry for the
+	// breaker-capping acceptance check).
+	depth := make([]int64, len(s.maxDepth))
+	for _, w := range s.rt.workers {
+		ch := topo.ChipletOf(w.Core())
+		depth[ch] += w.inbox.Len() + int64(w.deque.Len())
+	}
+	for ch, d := range depth {
+		if d > s.maxDepth[ch] {
+			s.maxDepth[ch] = d
+		}
+	}
+	if s.brk == nil {
+		return
+	}
+	// Observed slowdown: window-delta mean exec time per chiplet vs the
+	// fleet mean, in milli-units. Chiplets with too few samples in the
+	// window contribute no signal (0).
+	n := len(s.maxDepth)
+	sums := make([]int64, n)
+	cnts := make([]int64, n)
+	var fleetSum, fleetCnt int64
+	for ch := 0; ch < n; ch++ {
+		cs, cc := s.chExecSum[ch].Load(), s.chExecCnt[ch].Load()
+		sums[ch] = cs - s.lastChSum[ch]
+		cnts[ch] = cc - s.lastChCnt[ch]
+		s.lastChSum[ch], s.lastChCnt[ch] = cs, cc
+		fleetSum += sums[ch]
+		fleetCnt += cnts[ch]
+	}
+	minS := s.brk.Config().MinSamples
+	obsMilli := func(ch int) int64 {
+		if cnts[ch] < minS || fleetCnt == 0 || fleetSum == 0 {
+			return 0
+		}
+		chMean := float64(sums[ch]) / float64(cnts[ch])
+		fleetMean := float64(fleetSum) / float64(fleetCnt)
+		return int64(1000 * chMean / fleetMean)
+	}
+	s.brk.EvalPlan(now, s.rt.opts.Faults, obsMilli)
+	s.rt.met.breakersOpen.Set(0, int64(s.brk.Open()))
+}
+
+// startLocked dispatches job j's first runnable stage at time now.
+func (s *JobService) startLocked(j *Job, now int64) {
+	j.started = now
+	j.state.Store(int32(JobRunning))
+	s.inflight++
+	s.dispatchStageLocked(j, now)
+}
+
+// dispatchStageLocked launches j's next non-empty stage, or completes the
+// job when none remain. Caller holds mu.
+func (s *JobService) dispatchStageLocked(j *Job, now int64) {
+	for j.stage < len(j.spec.Stages) && len(j.spec.Stages[j.stage]) == 0 {
+		j.stage++
+	}
+	if j.stage >= len(j.spec.Stages) {
+		s.completeLocked(j, now)
+		return
+	}
+	stage := j.spec.Stages[j.stage]
+	j.stage++
+	g := newGroup()
+	g.job = j
+	g.add(int64(len(stage)))
+	for _, fn := range stage {
+		wid := s.placeLocked(now)
+		t := s.rt.newTask(fn, g, now, j.spec.Coro, wid)
+		t.job = j
+		s.rt.workers[wid].inbox.Put(t)
+	}
+}
+
+// placeLocked picks the next dispatch target: round-robin over workers,
+// skipping offlined cores and chiplets with an open breaker. When every
+// worker is refused (all breakers open, all cores down) it falls back to
+// plain round-robin — the work has to go somewhere.
+func (s *JobService) placeLocked(now int64) int {
+	n := len(s.rt.workers)
+	plan := s.rt.opts.Faults
+	topo := s.rt.M.Topo
+	for i := 0; i < n; i++ {
+		wid := s.rr % n
+		s.rr++
+		w := s.rt.workers[wid]
+		if plan != nil && plan.CoreDown(w.Core(), now) {
+			continue
+		}
+		if s.brk != nil && !s.brk.Allow(int(topo.ChipletOf(w.Core()))) {
+			continue
+		}
+		return wid
+	}
+	wid := s.rr % n
+	s.rr++
+	return wid
+}
+
+// completeLocked finishes job j successfully at time now.
+func (s *JobService) completeLocked(j *Job, now int64) {
+	s.inflight--
+	s.stats.Completed++
+	m := s.rt.met
+	m.jobsCompleted.Add(0, 1)
+	s.est.Observe(now - j.started)
+	s.finalizeLocked(j, JobCompleted, now)
+	if j.MetDeadline() {
+		s.stats.Met++
+	}
+	s.observeLatencyLocked(j.spec.Priority, now-j.arrival)
+	s.updateNextWorkLocked()
+	s.checkDrainedLocked()
+}
+
+// observeLatencyLocked records a completed job's arrival→finish latency
+// in the per-priority histogram (priority label clamped to [0, 7]).
+func (s *JobService) observeLatencyLocked(prio int, lat int64) {
+	p := prio
+	if p < 0 {
+		p = 0
+	}
+	if p > 7 {
+		p = 7
+	}
+	h, ok := s.latByPrio[p]
+	if !ok {
+		h = s.rt.met.reg.Histogram("charm_job_latency_ns",
+			"Virtual ns from job arrival to completion.",
+			obs.Labels{"priority": strconv.Itoa(p)}, latencyBounds)
+		s.latByPrio[p] = h
+	}
+	h.Observe(0, lat)
+}
+
+// stageDone is the group-completion hook: the last task of a stage (on
+// whatever worker finished it) advances the job — next stage, completion,
+// failure, or cancellation.
+func (s *JobService) stageDone(j *Job, g *group) {
+	end := g.bar.Release(s.rt.opts.BarrierCost)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.rt.met
+	switch {
+	case j.cancelled.Load():
+		s.inflight--
+		s.stats.Cancelled++
+		m.jobsCancelled.Add(0, 1)
+		s.finalizeLocked(j, JobCancelled, end)
+		s.updateNextWorkLocked()
+		s.checkDrainedLocked()
+	case g.panicked.Load() != nil:
+		s.inflight--
+		s.stats.Failed++
+		j.err.Store(g.panicked.Load())
+		s.finalizeLocked(j, JobFailed, end)
+		s.updateNextWorkLocked()
+		s.checkDrainedLocked()
+	default:
+		s.dispatchStageLocked(j, end)
+	}
+}
+
+// observeExec records a finished job task's execution time against its
+// chiplet (the breaker's PMU-observed slowdown input). Lock-free.
+func (s *JobService) observeExec(ch int, exec int64) {
+	if ch < 0 || ch >= len(s.chExecSum) {
+		return
+	}
+	s.chExecSum[ch].Add(exec)
+	s.chExecCnt[ch].Add(1)
+}
+
+// --- cancellation plumbing (worker side) ---
+
+// cancelUnwind is the sentinel a cancelled task's Yield panics with to
+// unwind its stack; runTaskRecovered converts it into a TaskError whose
+// Val is this type, and the worker discards instead of retrying.
+type cancelUnwind struct{}
+
+func (cancelUnwind) String() string { return "job cancelled" }
+
+// jobCancelled reports whether the task belongs to a cancelled job.
+func (t *Task) jobCancelled() bool {
+	return t.job != nil && t.job.cancelled.Load()
+}
+
+// discardCancelled completes a cancelled task's lifecycle without running
+// it: group accounting still fires (so stages drain and the job
+// finalizes), but no execution, latency, or PMU accounting is recorded.
+func (w *Worker) discardCancelled(t *Task) {
+	now := w.clock.Now()
+	if t.spawned {
+		w.rt.liveTasks.Add(-1)
+	}
+	w.rt.met.jobTasksCancelled.Inc(w.id)
+	if t.job != nil {
+		t.job.svc.tasksCanc.Add(1)
+	}
+	if t.grp != nil {
+		t.grp.taskDone(now)
+	}
+	if t.onDone != nil {
+		t.onDone.finish.Store(now)
+		t.onDone.done.Store(true)
+	}
+}
+
+// unwindCancelled resumes a started coroutine of a cancelled job so its
+// Yield observes the flag and unwinds; the goroutine (and its stack) is
+// released. The worker then discards the task.
+func (w *Worker) unwindCancelled(t *Task) {
+	co := t.co
+	co.ctx.w = w
+	co.resume <- struct{}{}
+	<-co.status // always false: yield panics cancelUnwind on resume
+	t.err = nil
+	w.discardCancelled(t)
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"charm/internal/admit"
+	"charm/internal/fault"
+	"charm/internal/sim"
+	"charm/internal/topology"
+)
+
+// jobRuntime builds a started deterministic runtime on a small synthetic
+// machine for open-loop tests.
+func jobRuntime(t *testing.T, opts Options) *Runtime {
+	t.Helper()
+	topo := topology.Synthetic(4, 2)
+	m := sim.New(sim.Config{Topo: topo})
+	if opts.Workers == 0 {
+		opts.Workers = 8
+	}
+	rt := NewRuntime(m, opts)
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	return rt
+}
+
+// computeJob builds a one-stage job of n tasks, each charging cost virtual
+// ns and counting into ran.
+func computeJob(n int, cost int64, ran *atomic.Int64) JobSpec {
+	stage := make(JobStage, n)
+	for i := range stage {
+		stage[i] = func(ctx *Ctx) {
+			ctx.Compute(cost)
+			if ran != nil {
+				ran.Add(1)
+			}
+		}
+	}
+	return JobSpec{Stages: []JobStage{stage}}
+}
+
+// TestOpenLoopPoissonDrain: a seeded Poisson arrival stream must admit,
+// run, and complete every job, and Drain must return once the source is
+// exhausted and all jobs are terminal.
+func TestOpenLoopPoissonDrain(t *testing.T) {
+	rt := jobRuntime(t, Options{Deterministic: true})
+	var ran atomic.Int64
+	const jobs = 40
+	svc, err := rt.ServeJobs(JobServiceOptions{
+		Policy: admit.Reject,
+		Source: &SpecSource{
+			Arrivals: admit.NewPoisson(7, 5_000, jobs),
+			Gen: func(i int) JobSpec {
+				s := computeJob(4, 2_000, &ran)
+				s.Name = "j"
+				s.Deadline = 10_000_000
+				return s
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Drain()
+	st := svc.Stats()
+	if st.Submitted != jobs || st.Admitted != jobs || st.Completed != jobs {
+		t.Fatalf("stats = %+v, want %d submitted/admitted/completed", st, jobs)
+	}
+	if st.Met != jobs {
+		t.Errorf("Met = %d, want %d (generous deadline)", st.Met, jobs)
+	}
+	if ran.Load() != jobs*4 {
+		t.Errorf("tasks ran = %d, want %d", ran.Load(), jobs*4)
+	}
+	for _, j := range svc.Jobs() {
+		if j.State() != JobCompleted || !j.MetDeadline() || j.Latency() <= 0 {
+			t.Fatalf("job %d: state=%v met=%v lat=%d", j.ID(), j.State(), j.MetDeadline(), j.Latency())
+		}
+	}
+}
+
+// TestSubmitJobExternal: SubmitJob outside any source must run the job and
+// deliver completion through Done.
+func TestSubmitJobExternal(t *testing.T) {
+	rt := jobRuntime(t, Options{})
+	var ran atomic.Int64
+	j, err := rt.SubmitJob(computeJob(3, 1_000, &ran))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if j.State() != JobCompleted || ran.Load() != 3 {
+		t.Fatalf("state=%v ran=%d", j.State(), ran.Load())
+	}
+}
+
+// TestJobMultiStageOrder: stages must run strictly in order, with stage
+// k+1 seeing every stage-k task finished.
+func TestJobMultiStageOrder(t *testing.T) {
+	rt := jobRuntime(t, Options{Deterministic: true})
+	var s1 atomic.Int64
+	var bad atomic.Bool
+	spec := JobSpec{Stages: []JobStage{
+		{
+			func(ctx *Ctx) { ctx.Compute(3_000); s1.Add(1) },
+			func(ctx *Ctx) { ctx.Compute(1_000); s1.Add(1) },
+		},
+		{}, // empty stages are skipped
+		{
+			func(ctx *Ctx) {
+				if s1.Load() != 2 {
+					bad.Store(true)
+				}
+			},
+		},
+	}}
+	j, err := rt.SubmitJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if j.State() != JobCompleted || bad.Load() {
+		t.Fatalf("state=%v stageOrderViolated=%v", j.State(), bad.Load())
+	}
+}
+
+// TestJobCancellation: cancelling a job must discard its queued tasks,
+// unwind its suspended coroutines at Yield, and never give a dead job a
+// fresh coroutine stack. The second (never-dispatched) stage must not run.
+func TestJobCancellation(t *testing.T) {
+	rt := jobRuntime(t, Options{Workers: 2, Deterministic: true})
+	var stage2 atomic.Int64
+	var resumed atomic.Int64
+	release := make(chan struct{})
+	var j *Job
+	var mu sync.Mutex
+	stage1 := make(JobStage, 4)
+	for i := range stage1 {
+		stage1[i] = func(ctx *Ctx) {
+			mu.Lock()
+			self := j
+			mu.Unlock()
+			<-release // hold until the cancel lands (host-side gate)
+			ctx.Compute(1_000)
+			self.Cancel()
+			ctx.Yield() // cancellation point: must not return
+			resumed.Add(1)
+		}
+	}
+	spec := JobSpec{
+		Coro:   true,
+		Stages: []JobStage{stage1, {func(ctx *Ctx) { stage2.Add(1) }}},
+	}
+	mu.Lock()
+	jj, err := rt.SubmitJob(spec)
+	j = jj
+	mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	<-j.Done()
+	if j.State() != JobCancelled {
+		t.Fatalf("state = %v, want cancelled", j.State())
+	}
+	if resumed.Load() != 0 {
+		t.Errorf("%d coroutines ran past a post-cancel Yield", resumed.Load())
+	}
+	if stage2.Load() != 0 {
+		t.Errorf("stage 2 ran %d tasks after cancellation", stage2.Load())
+	}
+	svc := rt.JobServer()
+	if st := svc.Stats(); st.Cancelled != 1 || st.TasksCancelled == 0 {
+		t.Errorf("stats = %+v, want 1 cancelled job with cancelled tasks", st)
+	}
+}
+
+// TestShedPolicyDropsHopeless: under Shed, a job whose deadline budget is
+// below its declared cost must be dropped at admission with ErrHopeless.
+func TestShedPolicyDropsHopeless(t *testing.T) {
+	rt := jobRuntime(t, Options{})
+	if _, err := rt.ServeJobs(JobServiceOptions{Policy: admit.Shed}); err != nil {
+		t.Fatal(err)
+	}
+	spec := computeJob(1, 1_000, nil)
+	spec.Deadline = 10_000
+	spec.Cost = 50_000 // estimated service time exceeds the budget
+	j, err := rt.SubmitJob(spec)
+	if !errors.Is(err, admit.ErrHopeless) {
+		t.Fatalf("err = %v, want ErrHopeless", err)
+	}
+	if j.State() != JobShed {
+		t.Fatalf("state = %v, want shed", j.State())
+	}
+}
+
+// TestRejectPolicyTypedError: a full Reject queue must refuse with
+// ErrQueueFull and leave prior jobs untouched.
+func TestRejectPolicyTypedError(t *testing.T) {
+	rt := jobRuntime(t, Options{})
+	// MaxInFlight 1 and a held first job keep the queue occupied.
+	if _, err := rt.ServeJobs(JobServiceOptions{Policy: admit.Reject, QueueCapacity: 1, MaxInFlight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	blocker := JobSpec{Stages: []JobStage{{func(ctx *Ctx) { <-release }}}}
+	j1, err := rt.SubmitJob(blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until j1 is dispatched so the queue is empty, then fill it.
+	for j1.State() == JobQueued {
+		yieldHost()
+	}
+	j2, err := rt.SubmitJob(computeJob(1, 1_000, nil))
+	if err != nil {
+		t.Fatalf("queued job refused: %v", err)
+	}
+	if _, err := rt.SubmitJob(computeJob(1, 1_000, nil)); !errors.Is(err, admit.ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	<-j1.Done()
+	<-j2.Done()
+	if j1.State() != JobCompleted || j2.State() != JobCompleted {
+		t.Fatalf("states = %v/%v", j1.State(), j2.State())
+	}
+}
+
+// TestJobFailure: a job whose task panics past the retry budget must end
+// Failed with a typed TaskError.
+func TestJobFailure(t *testing.T) {
+	rt := jobRuntime(t, Options{})
+	j, err := rt.SubmitJob(JobSpec{Stages: []JobStage{{
+		func(ctx *Ctx) { panic("job boom") },
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if j.State() != JobFailed {
+		t.Fatalf("state = %v, want failed", j.State())
+	}
+	var te *TaskError
+	if !errors.As(j.Err(), &te) {
+		t.Fatalf("Err = %v, want *TaskError", j.Err())
+	}
+}
+
+// TestFinalizeIdempotentAndTyped (satellite): Stop must be idempotent,
+// wait out a racing Run, and make later submissions fail with
+// ErrFinalized.
+func TestFinalizeIdempotentAndTyped(t *testing.T) {
+	topo := topology.Synthetic(2, 2)
+	m := sim.New(sim.Config{Topo: topo})
+	rt := NewRuntime(m, Options{Workers: 4})
+	rt.Start()
+
+	var ran atomic.Int64
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(started)
+		rt.Run(func(ctx *Ctx) {
+			ctx.Compute(200_000)
+			ran.Add(1)
+		})
+	}()
+	<-started
+	rt.Stop() // must wait for the racing Run's tasks, not abandon them
+	wg.Wait()
+	if ran.Load() != 1 {
+		t.Fatalf("racing Run lost its task (ran=%d)", ran.Load())
+	}
+	rt.Stop() // idempotent
+
+	if _, err := rt.SubmitJob(JobSpec{}); !errors.Is(err, ErrFinalized) {
+		t.Fatalf("SubmitJob after Stop: err = %v, want ErrFinalized", err)
+	}
+	func() {
+		defer func() {
+			if r := recover(); !errors.Is(r.(error), ErrFinalized) {
+				t.Fatalf("Run after Stop panicked %v, want ErrFinalized", r)
+			}
+		}()
+		rt.Run(func(ctx *Ctx) {})
+		t.Fatal("Run after Stop returned")
+	}()
+}
+
+// overloadRun drives one deterministic open-loop overload run and returns
+// its observable outputs (stats, PMU totals, job latencies).
+func overloadRun(t *testing.T, seed uint64) (JobStats, []int64, [4]int64) {
+	t.Helper()
+	topo := topology.Synthetic(4, 2)
+	m := sim.New(sim.Config{Topo: topo})
+	plan, err := fault.New("thermal", seed).
+		ThermalThrottle(1, 200_000, 1_200_000, 3.0).
+		Compile(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(m, Options{Workers: 8, Deterministic: true, Faults: plan})
+	rt.Start()
+	defer rt.Stop()
+	svc, err := rt.ServeJobs(JobServiceOptions{
+		Policy:       admit.Shed,
+		Breakers:     true,
+		EvalInterval: 50_000,
+		Source: &SpecSource{
+			Arrivals: admit.NewPoisson(seed, 3_000, 120),
+			Gen: func(i int) JobSpec {
+				s := computeJob(4, 8_000, nil)
+				s.Priority = i % 3
+				s.Deadline = 120_000
+				s.Cost = 32_000
+				return s
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Drain()
+	lats := make([]int64, 0, 120)
+	for _, j := range svc.Jobs() {
+		lats = append(lats, j.Latency())
+	}
+	return svc.Stats(), lats, rt.snapshotCounters()
+}
+
+// TestOpenLoopDeterministicReplay (satellite): two open-loop overload runs
+// with the same seeds must be bit-identical — stats, shed counts, every
+// job latency, and the PMU totals.
+func TestOpenLoopDeterministicReplay(t *testing.T) {
+	s1, l1, p1 := overloadRun(t, 11)
+	s2, l2, p2 := overloadRun(t, 11)
+	if s1 != s2 {
+		t.Errorf("stats diverge:\n  %+v\n  %+v", s1, s2)
+	}
+	if !reflect.DeepEqual(l1, l2) {
+		t.Errorf("job latencies diverge")
+	}
+	if p1 != p2 {
+		t.Errorf("PMU counters diverge: %v vs %v", p1, p2)
+	}
+}
+
+// TestBreakerTripsUnderThermalFault: with breakers on, a browned-out
+// chiplet must trip its breaker while the run makes progress.
+func TestBreakerTripsUnderThermalFault(t *testing.T) {
+	st, _, _ := overloadRun(t, 23)
+	if st.BreakerTrips == 0 {
+		t.Errorf("no breaker trips under 3x thermal throttle; stats = %+v", st)
+	}
+	if st.Completed == 0 {
+		t.Errorf("no jobs completed; stats = %+v", st)
+	}
+	if st.Submitted != 120 {
+		t.Errorf("Submitted = %d, want 120", st.Submitted)
+	}
+}

@@ -38,6 +38,19 @@ type rtMetrics struct {
 	faultParks      *obs.Counter
 	faultRetries    *obs.Counter
 	watchdogTrips   *obs.Counter
+
+	// Open-loop job-service instruments (all zero without ServeJobs).
+	// Authoritative counts live in JobService.Stats — these mirror them
+	// into the registry for traces and snapshots.
+	jobsAdmitted      *obs.Counter
+	jobsCompleted     *obs.Counter
+	jobsRejected      *obs.Counter
+	jobsShed          *obs.Counter
+	jobsExpired       *obs.Counter
+	jobsCancelled     *obs.Counter
+	jobTasksCancelled *obs.Counter
+	jobQueueDepth     *obs.Gauge
+	breakersOpen      *obs.Gauge
 }
 
 // newRTMetrics builds the registry (one shard per worker) and the
@@ -75,6 +88,24 @@ func newRTMetrics(rt *Runtime, workers int) *rtMetrics {
 			"Failed task executions re-queued under MaxTaskRetries.", nil),
 		watchdogTrips: reg.Counter("charm_watchdog_trips_total",
 			"Tasks whose enqueue-to-completion time exceeded StarvationDeadline.", nil),
+		jobsAdmitted: reg.Counter("charm_jobs_admitted_total",
+			"Jobs accepted into the admission queue.", nil),
+		jobsCompleted: reg.Counter("charm_jobs_completed_total",
+			"Jobs that ran every stage to completion.", nil),
+		jobsRejected: reg.Counter("charm_jobs_rejected_total",
+			"Jobs refused at admission (queue full).", nil),
+		jobsShed: reg.Counter("charm_jobs_shed_total",
+			"Jobs dropped by deadline-aware shedding.", nil),
+		jobsExpired: reg.Counter("charm_jobs_expired_total",
+			"Jobs whose deadline passed while queued.", nil),
+		jobsCancelled: reg.Counter("charm_jobs_cancelled_total",
+			"Jobs cancelled after admission.", nil),
+		jobTasksCancelled: reg.Counter("charm_job_tasks_cancelled_total",
+			"Individual tasks discarded by job cancellation.", nil),
+		jobQueueDepth: reg.Gauge("charm_job_queue_depth",
+			"Current admission-queue length.", nil, obs.Traced()),
+		breakersOpen: reg.Gauge("charm_breakers_open",
+			"Chiplet circuit breakers currently not closed.", nil, obs.Traced()),
 	}
 	reg.Func("charm_live_tasks", "Currently executing or suspended tasks.",
 		obs.KindGauge, nil, func(int64) float64 { return float64(rt.liveTasks.Load()) },

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -140,8 +141,15 @@ type Runtime struct {
 	phase      atomic.Int64 // virtual start time of the next submission
 	placeEpoch atomic.Int64 // bumped on every placement change
 	stop       atomic.Bool
-	started    bool
-	wg         sync.WaitGroup
+	// lifecycle moves lcNew → lcStarted → lcStopped exactly once each;
+	// activeSubmits counts in-flight submissions so Stop can wait out a
+	// racing Run/SubmitJob instead of abandoning its tasks mid-air.
+	lifecycle     atomic.Int32
+	activeSubmits atomic.Int64
+	wg            sync.WaitGroup
+
+	// svc is the open-loop job service (nil until ServeJobs/SubmitJob).
+	svc atomic.Pointer[JobService]
 
 	taskSeq  atomic.Uint64
 	phaseSeq atomic.Uint64
@@ -275,13 +283,23 @@ func rankCores(t *topology.Topology) [][]topology.CoreID {
 	return out
 }
 
+// Runtime lifecycle states.
+const (
+	lcNew int32 = iota
+	lcStarted
+	lcStopped
+)
+
+// ErrFinalized is returned (SubmitJob) or panicked (Run and friends) by
+// submissions that race or follow Stop/Finalize.
+var ErrFinalized = errors.New("core: runtime finalized")
+
 // Start launches the worker goroutines. It must be called once before any
 // submission.
 func (rt *Runtime) Start() {
-	if rt.started {
+	if !rt.lifecycle.CompareAndSwap(lcNew, lcStarted) {
 		panic("core: Start called twice")
 	}
-	rt.started = true
 	for _, w := range rt.workers {
 		rt.wg.Add(1)
 		go w.loop()
@@ -289,14 +307,39 @@ func (rt *Runtime) Start() {
 }
 
 // Stop terminates the workers. Pending tasks are abandoned; call only when
-// the last submission has completed.
+// the last submission has completed. Stop is idempotent, and a Stop racing
+// an in-flight submission waits for that submission's tasks to drain
+// before tearing the fleet down; later submissions fail with ErrFinalized.
 func (rt *Runtime) Stop() {
+	if !rt.lifecycle.CompareAndSwap(lcStarted, lcStopped) {
+		// Never started: just mark stopped so submissions fail typed.
+		// Already stopped: idempotent no-op.
+		rt.lifecycle.CompareAndSwap(lcNew, lcStopped)
+		return
+	}
+	for rt.activeSubmits.Load() > 0 {
+		yieldHost()
+	}
 	rt.stop.Store(true)
 	if rt.ls != nil {
 		rt.ls.stopAll()
 	}
 	rt.wg.Wait()
 }
+
+// submitBegin registers an in-flight submission. It fails once the
+// lifecycle reached stopped; the registration order against Stop's CAS
+// decides whether Stop waits for this submission or refuses it.
+func (rt *Runtime) submitBegin() bool {
+	rt.activeSubmits.Add(1)
+	if rt.lifecycle.Load() == lcStopped {
+		rt.activeSubmits.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (rt *Runtime) submitEnd() { rt.activeSubmits.Add(-1) }
 
 // Workers returns the number of workers.
 func (rt *Runtime) Workers() int { return len(rt.workers) }
@@ -349,6 +392,9 @@ type group struct {
 	// submitWait re-panics it on the submitter so a failing task behaves
 	// like a failing function call instead of killing a worker.
 	panicked atomic.Pointer[TaskError]
+	// job links a stage group back to its open-loop job: the last task to
+	// finish advances the job instead of waking a submitter.
+	job *Job
 }
 
 func newGroup() *group {
@@ -361,6 +407,9 @@ func (g *group) taskDone(t int64) {
 	g.bar.Enter(t)
 	if g.pending.Add(-1) == 0 {
 		close(g.done)
+		if g.job != nil {
+			g.job.svc.stageDone(g.job, g)
+		}
 	}
 }
 
@@ -399,6 +448,10 @@ type Task struct {
 	spawned  bool
 	attempts int32
 	err      *TaskError
+
+	// job links the task to its open-loop job (nil for phase submissions);
+	// workers poll its cancellation flag at discard and yield points.
+	job *Job
 }
 
 func (rt *Runtime) newTask(fn func(*Ctx), g *group, stamp int64, coro bool, home int) *Task {
@@ -466,9 +519,13 @@ func (rt *Runtime) ParallelFor(lo, hi, grain int, body func(ctx *Ctx, i0, i1 int
 // pinned tasks go to their same-index worker), waits for the group, and
 // advances the phase clock.
 func (rt *Runtime) submitWait(fns []func(*Ctx), pinned, coro bool) Stats {
-	if !rt.started {
+	if rt.lifecycle.Load() == lcNew {
 		panic("core: runtime not started")
 	}
+	if !rt.submitBegin() {
+		panic(ErrFinalized)
+	}
+	defer rt.submitEnd()
 	start := rt.phase.Load()
 	seq := rt.phaseSeq.Add(1)
 	g := newGroup()

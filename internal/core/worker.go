@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sync/atomic"
 
 	"charm/internal/mem"
@@ -183,6 +184,12 @@ func (w *Worker) step(idle *int) {
 		return
 	}
 	w.throttle()
+	if w.pumpJobs() {
+		// The open-loop job service had due work (arrivals, breaker
+		// evaluation, dispatch); the tasks it enqueued run on later steps.
+		*idle = 0
+		return
+	}
 	if t := w.drainInbox(); t != nil {
 		w.execute(t)
 		*idle = 0
@@ -238,7 +245,17 @@ func (w *Worker) throttle() {
 // the fleet maximum, modeling time spent waiting for stealable work.
 func (w *Worker) idleDrift() {
 	t := w.clock.Now() + w.rt.opts.IdleQuantum
-	if gm := w.rt.MaxWorkerClock(); t > gm {
+	gm := w.rt.MaxWorkerClock()
+	if s := w.rt.svc.Load(); s != nil {
+		// Open loop: an all-idle fleet must keep virtual time moving toward
+		// the next arrival or breaker evaluation, or the run deadlocks
+		// before the next job lands. An exhausted source (MaxInt64) leaves
+		// the fleet-maximum cap in force so idle clocks cannot run away.
+		if nw := s.nextWork.Load(); nw > gm && nw != math.MaxInt64 {
+			gm = nw
+		}
+	}
+	if t > gm {
 		t = gm
 	}
 	w.clock.SyncTo(t)
@@ -315,6 +332,17 @@ func (w *Worker) execute(t *Task) {
 		w.rt.workers[t.home].inbox.Put(t)
 		return
 	}
+	if t.jobCancelled() {
+		// Cooperative cancellation: a never-started task is discarded
+		// without ever getting a coroutine stack; a suspended coroutine is
+		// resumed once so its Yield point unwinds the stack.
+		if t.co != nil && t.co.started {
+			w.unwindCancelled(t)
+		} else {
+			w.discardCancelled(t)
+		}
+		return
+	}
 	if !t.spawned {
 		// First execution: charge the spawn cost and count the task live
 		// until finishTask (suspended coroutines and retries stay live,
@@ -333,7 +361,12 @@ func (w *Worker) execute(t *Task) {
 	} else {
 		ctx := &Ctx{w: w, task: t}
 		if err := w.runTaskRecovered(t, func() { t.fn(ctx) }); err != nil {
-			if !w.retryTask(t, err) {
+			if t.jobCancelled() {
+				// Cancellation propagates through the retry path: the
+				// unwind (or a coincident failure) of a cancelled job's
+				// task is discarded, never re-queued.
+				w.discardCancelled(t)
+			} else if !w.retryTask(t, err) {
 				w.failTask(t, err)
 			}
 		} else {
@@ -356,6 +389,11 @@ func (w *Worker) finishTask(t *Task) {
 	w.rt.met.tasks.Inc(w.id)
 	w.rt.met.taskLatency.Observe(w.id, now-t.stamp)
 	w.rt.met.taskExec.Observe(w.id, now-t.startT)
+	if t.job != nil {
+		// Feed the job service's per-chiplet slowdown window (the
+		// PMU-observed half of the circuit-breaker signal).
+		t.job.svc.observeExec(int(w.rt.M.Topo.ChipletOf(w.Core())), now-t.startT)
+	}
 	if w.rt.prof.Enabled() {
 		w.rt.prof.RecordSpan(TaskSpan{
 			ID: t.id, Home: t.home, Worker: w.id,

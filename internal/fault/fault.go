@@ -242,6 +242,7 @@ func indexByte(s string, b byte) int {
 }
 
 func parseOpts(s string, o *specOpts) error {
+	seen := make(map[string]bool, 4)
 	for len(s) > 0 {
 		kv := s
 		if i := indexByte(s, ','); i >= 0 {
@@ -254,6 +255,12 @@ func parseOpts(s string, o *specOpts) error {
 			return fmt.Errorf("malformed option %q (want key=value)", kv)
 		}
 		key, val := kv[:i], kv[i+1:]
+		if seen[key] {
+			// A repeated key is almost always a typo'd spec; refusing beats
+			// silently letting the last occurrence win.
+			return fmt.Errorf("duplicate option %q", key)
+		}
+		seen[key] = true
 		var err error
 		switch key {
 		case "seed":

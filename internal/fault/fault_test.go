@@ -3,6 +3,7 @@ package fault
 import (
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"charm/internal/topology"
@@ -220,5 +221,59 @@ func TestKindString(t *testing.T) {
 	}
 	if Kind(99).String() == "" {
 		t.Error("unknown kind has empty name")
+	}
+}
+
+// TestParseSpecErrorPaths: every malformed spec class must be refused with
+// a message naming the offending fragment.
+func TestParseSpecErrorPaths(t *testing.T) {
+	topo := topology.Synthetic(4, 2)
+	cases := []struct {
+		spec    string
+		wantSub string
+	}{
+		{"no-such-scenario", "unknown schedule"},
+		{"flaky-cores:seed=1", "unknown schedule"},
+		{"chaos:seed", "malformed option"},
+		{"chaos:,", "malformed option"},
+		{"thermal:seed=1,seed=2", "duplicate option"},
+		{"brownout:period=5,period=5", "duplicate option"},
+		{"core-flap:bogus=1", "unknown option"},
+		{"chaos:seed=notanumber", `option "seed=notanumber"`},
+		{"thermal:factor=wide", `option "factor=wide"`},
+		{"brownout:period=0", "period and horizon must be positive"},
+		{"mem-brownout:horizon=-5", "period and horizon must be positive"},
+		{"chaos:factor=0.25", "factor must be a finite value >= 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			s, err := ParseSpec(tc.spec, topo)
+			if err == nil {
+				t.Fatalf("ParseSpec(%q) accepted a bad spec (schedule %v)", tc.spec, s.Name)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("ParseSpec(%q) error %q does not mention %q", tc.spec, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestCompileRejectsAllCoresDown: a plan with zero live cores at any
+// instant must be refused at compile time — the runtime's park protocol
+// needs at least one live core to drain to.
+func TestCompileRejectsAllCoresDown(t *testing.T) {
+	topo := topology.Synthetic(2, 2)
+	dead := New("dead", 1).
+		OfflineChiplet(0, 1_000, Forever).
+		OfflineChiplet(1, 5_000, Forever)
+	if _, err := dead.Compile(topo); err == nil || !strings.Contains(err.Error(), "offlines all") {
+		t.Fatalf("Compile accepted an all-cores-down plan: %v", err)
+	}
+	// Staggered windows that always leave chiplet 1 alive are fine.
+	ok := New("ok", 1).
+		OfflineChiplet(0, 1_000, Forever).
+		OfflineCore(2, 5_000, 9_000)
+	if _, err := ok.Compile(topo); err != nil {
+		t.Fatalf("Compile rejected a survivable plan: %v", err)
 	}
 }

@@ -121,6 +121,19 @@ func (s *Schedule) Compile(topo *topology.Topology) (*Plan, error) {
 	for c, wins := range coreWins {
 		p.coreDown[c] = mergeSpans(wins)
 	}
+	// Reject schedules that offline the whole machine: a plan with zero
+	// live cores cannot make progress, and the runtime's park protocol
+	// would spin virtual time to the (possibly never-arriving) revival. A
+	// full outage, if one exists, begins at some core's down-window start,
+	// so checking those instants covers every point in time.
+	for c := range p.coreDown {
+		for _, sp := range p.coreDown[c] {
+			if p.CoresDown(sp.from) == topo.NumCores() {
+				return nil, fmt.Errorf("fault: plan %q offlines all %d cores at t=%d; at least one core must stay live",
+					s.Name, topo.NumCores(), sp.from)
+			}
+		}
+	}
 	build := func(dst [][]step, src [][]win) {
 		for u, wins := range src {
 			dst[u] = buildSteps(wins)

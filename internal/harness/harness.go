@@ -41,6 +41,10 @@ type Options struct {
 	// machine. The chaos experiment builds its own schedules and ignores
 	// this knob.
 	Faults string
+	// ArrivalLoad, when positive, pins the overload experiment's arrival
+	// rate to this multiple of machine capacity instead of sweeping
+	// 0.5x/1x/2x (charm-bench -arrivals).
+	ArrivalLoad float64
 	// Obs, when non-nil, enables the metrics registry on every runtime
 	// the harness builds and captures a metrics document into the sink at
 	// each Finalize (the per-experiment metrics dump).

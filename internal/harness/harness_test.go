@@ -51,8 +51,8 @@ func TestTablePrintAndLookup(t *testing.T) {
 func TestRegistry(t *testing.T) {
 	o := testOptions()
 	ids := o.IDs()
-	if len(ids) != 18 {
-		t.Errorf("expected 18 experiments, got %d: %v", len(ids), ids)
+	if len(ids) != 19 {
+		t.Errorf("expected 19 experiments, got %d: %v", len(ids), ids)
 	}
 	if _, err := o.Run("nope"); err == nil {
 		t.Error("unknown id must error")
@@ -402,5 +402,57 @@ func TestFig8IntelNarrowerThanAMD(t *testing.T) {
 	// by much.
 	if i > a*1.25 {
 		t.Errorf("Intel advantage %.2f unexpectedly exceeds AMD's %.2f", i, a)
+	}
+}
+
+// TestOverloadShape asserts the admission experiment's acceptance shape:
+// deadline-aware shedding sustains >=90% goodput at 2x capacity while the
+// no-admission baseline's p99 diverges; the chiplet-1 circuit breaker caps
+// the browned-out chiplet's queue depth relative to a breaker-off run; and
+// the shed-2x cell replays byte for byte.
+func TestOverloadShape(t *testing.T) {
+	tab := testOptions().Overload()
+	goodCol, p99Col := tab.Col("goodput_pct"), tab.Col("p99_us")
+	maxqCol, reproCol := tab.Col("maxq_ch1"), tab.Col("repro")
+	if len(tab.Rows) != 14 {
+		t.Fatalf("rows = %d, want 14", len(tab.Rows))
+	}
+	get := func(name string) []string {
+		r := tab.Find(name)
+		if r == nil {
+			t.Fatalf("missing row %q", name)
+		}
+		return r
+	}
+	shed2, none2 := get("shed-2x"), get("none-2x")
+	if g := parse(t, shed2[goodCol]); g < 90 {
+		t.Errorf("shed-2x goodput = %.1f%%, want >= 90%%", g)
+	}
+	if g := parse(t, none2[goodCol]); g >= 60 {
+		t.Errorf("no-admission 2x goodput = %.1f%%; overload should collapse it below 60%%", g)
+	}
+	// The no-admission queue grows without bound at 2x: its p99 blows
+	// far past the 200us deadline and past every admission policy's p99.
+	non := parse(t, none2[p99Col])
+	if non < 1000 {
+		t.Errorf("no-admission 2x p99 = %.1fus, want divergence beyond 1000us", non)
+	}
+	if s := parse(t, shed2[p99Col]); s >= non {
+		t.Errorf("shed-2x p99 %.1fus not below no-admission p99 %.1fus", s, non)
+	}
+	// At half load every policy behaves identically and meets everything.
+	for _, name := range []string{"none-0.5x", "block-0.5x", "reject-0.5x", "shed-0.5x"} {
+		r := get(name)
+		if r[2] != "400" || r[3] != "400" {
+			t.Errorf("%s: completed/met = %s/%s, want 400/400", name, r[2], r[3])
+		}
+	}
+	off, on := get("breaker-off-2x"), get("breaker-on-2x")
+	offQ, onQ := parse(t, off[maxqCol]), parse(t, on[maxqCol])
+	if onQ >= offQ {
+		t.Errorf("breaker did not cap chiplet-1 depth: on=%v off=%v", onQ, offQ)
+	}
+	if shed2[reproCol] != "yes" {
+		t.Errorf("shed-2x replay not byte-identical")
 	}
 }

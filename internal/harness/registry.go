@@ -8,24 +8,25 @@ import (
 // Experiments maps experiment ids to their regenerators.
 func (o Options) Experiments() map[string]func() *Table {
 	return map[string]func() *Table{
-		"fig1":  o.Fig1,
-		"fig3":  o.Fig3,
-		"fig4":  o.Fig4,
-		"fig5":  o.Fig5,
-		"fig7":  o.Fig7,
-		"tab1":  o.Tab1,
-		"fig8":  o.Fig8,
-		"fig9":  o.Fig9,
-		"tab2":  o.Tab2,
-		"fig10": o.Fig10,
-		"fig11": o.Fig11,
-		"fig12": o.Fig12,
-		"fig13": o.Fig13,
-		"fig14": o.Fig14,
-		"sens":  o.Sensitivity,
-		"abl":   o.Ablation,
-		"gran":  o.Granularity,
-		"chaos": o.Chaos,
+		"fig1":     o.Fig1,
+		"fig3":     o.Fig3,
+		"fig4":     o.Fig4,
+		"fig5":     o.Fig5,
+		"fig7":     o.Fig7,
+		"tab1":     o.Tab1,
+		"fig8":     o.Fig8,
+		"fig9":     o.Fig9,
+		"tab2":     o.Tab2,
+		"fig10":    o.Fig10,
+		"fig11":    o.Fig11,
+		"fig12":    o.Fig12,
+		"fig13":    o.Fig13,
+		"fig14":    o.Fig14,
+		"sens":     o.Sensitivity,
+		"abl":      o.Ablation,
+		"gran":     o.Granularity,
+		"chaos":    o.Chaos,
+		"overload": o.Overload,
 	}
 }
 

@@ -372,6 +372,50 @@ type HistData struct {
 	Count  int64
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the distribution by
+// linear interpolation within the bucket holding the target rank. Values
+// in the +Inf overflow bucket are attributed to the last finite bound (a
+// floor — the true quantile may be larger). Returns 0 when empty.
+func (h *HistData) Quantile(q float64) int64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == len(h.Counts)-1 {
+			if i >= len(h.Bounds) {
+				return h.Bounds[len(h.Bounds)-1]
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			hi := h.Bounds[i]
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Sample is one metric's value at snapshot time.
 type Sample struct {
 	Name   string

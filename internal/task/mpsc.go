@@ -14,6 +14,7 @@ type node[T any] struct {
 type Inbox[T any] struct {
 	head atomic.Pointer[node[T]] // producers swap here
 	tail *node[T]                // consumer-owned
+	n    atomic.Int64            // approximate length for observability
 	stub node[T]
 }
 
@@ -35,6 +36,7 @@ func (q *Inbox[T]) pushNode(n *node[T]) {
 // Put enqueues v. Safe for concurrent producers.
 func (q *Inbox[T]) Put(v *T) {
 	q.pushNode(&node[T]{val: v})
+	q.n.Add(1)
 }
 
 // Take dequeues the oldest element, or returns nil when the queue is empty.
@@ -57,6 +59,7 @@ func (q *Inbox[T]) Take() *T {
 		q.tail = next
 		v := tail.val
 		tail.val = nil
+		q.n.Add(-1)
 		return v
 	}
 	if tail != q.head.Load() {
@@ -71,9 +74,19 @@ func (q *Inbox[T]) Take() *T {
 		q.tail = next
 		v := tail.val
 		tail.val = nil
+		q.n.Add(-1)
 		return v
 	}
 	return nil
+}
+
+// Len returns the approximate queue length (exact when producers are
+// quiescent). Safe for concurrent use; used for queue-depth telemetry.
+func (q *Inbox[T]) Len() int64 {
+	if n := q.n.Load(); n > 0 {
+		return n
+	}
+	return 0
 }
 
 // Empty reports whether the inbox appears empty to the consumer.
