@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench trace metrics clean
+.PHONY: build test verify fuzz-smoke bench trace metrics clean
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,11 @@ STATICCHECK_VERSION ?= 2025.1.1
 # verify is the pre-commit gate: vet, staticcheck (when installed — CI
 # always runs it pinned; local runs without it just skip), full build,
 # the full test suite, the race detector on the concurrency-heavy
-# packages (the sharded metrics registry and the runtime core), and the
+# packages (the sharded metrics registry and the runtime core), the
 # simulator stress test that hammers Machine.Access from one goroutine
 # per core (exercises the coherence directory and the lock-free tag
-# arrays under -race).
+# arrays under -race), and a short fuzz pass over the corpus-backed
+# fuzzers.
 verify:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -33,16 +34,34 @@ verify:
 	$(GO) test ./...
 	$(GO) test -race ./internal/obs/... ./internal/core/...
 	$(GO) test -race -run TestMachineAccessRaceStress ./internal/sim/
+	$(MAKE) fuzz-smoke
+
+# FUZZTIME bounds each fuzz-smoke target; 15s x 4 targets keeps the CI
+# step ~1 minute while still churning fresh inputs past the saved corpus.
+FUZZTIME ?= 15s
+
+# fuzz-smoke runs every fuzz target briefly (go test -fuzz accepts one
+# target per invocation): the task-queue fuzzers, Alg. 2's collision
+# property, and the simulator memory-access fuzzer.
+fuzz-smoke:
+	$(GO) test ./internal/task/ -run xxx -fuzz '^FuzzDequeSequential$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/task/ -run xxx -fuzz '^FuzzInboxSequential$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -run xxx -fuzz '^FuzzUpdateLocationCollisionFree$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sim/ -run xxx -fuzz '^FuzzMachineAccess$$' -fuzztime $(FUZZTIME)
 
 # bench runs the tier-1 benchmarks (-benchmem) and records the simulator
-# access-path numbers — directory vs broadcast-scan — into
-# BENCH_directory.json via cmd/benchjson.
+# access-path numbers (directory vs broadcast-scan) into
+# BENCH_directory.json and the placement decision-plane numbers into
+# BENCH_placement.json via cmd/benchjson.
 bench:
 	$(GO) test ./internal/core/ -run xxx -bench . -benchtime 1s -benchmem
 	$(GO) test ./internal/sim/ -run xxx -bench BenchmarkMachineAccess -benchtime 1s -benchmem \
 		| $(GO) run ./cmd/benchjson -o BENCH_directory.json \
 		-note "Machine.Access: coherence directory (dir) vs broadcast L3 scan (scan), AMDMilan7713x2" \
 		-end-to-end "charm-bench all (default scale, sequential): ~53s before the directory, ~40s after (~1.3x)"
+	$(GO) test ./internal/place/ -run xxx -bench BenchmarkPlacement -benchtime 1s -benchmem \
+		| $(GO) run ./cmd/benchjson -o BENCH_placement.json \
+		-note "internal/place decision plane on AMDMilan7713x2: rank build (one-time), per-decision view build and Select/ordering queries"
 
 # Observability smoke runs: a Chrome trace and a Prometheus metrics dump
 # from the quickstart workload.

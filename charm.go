@@ -100,6 +100,17 @@ type (
 	AdmitPolicy = admit.Policy
 	// BreakerConfig tunes the per-chiplet circuit breakers.
 	BreakerConfig = admit.BreakerConfig
+	// JobPlacement selects dispatch placement for JobServiceOptions.
+	JobPlacement = core.JobPlacement
+)
+
+// Dispatch placement strategies for JobServiceOptions.Placement.
+const (
+	// PlaceLoadAware co-locates each stage on the least-loaded live
+	// chiplet group (the default).
+	PlaceLoadAware = core.PlaceLoadAware
+	// PlaceRoundRobin is the legacy blind worker rotation.
+	PlaceRoundRobin = core.PlaceRoundRobin
 )
 
 // Admission policies for JobServiceOptions.Policy.

@@ -19,7 +19,6 @@ import (
 	"charm/internal/core"
 	"charm/internal/pmu"
 	"charm/internal/sim"
-	"charm/internal/topology"
 )
 
 // System identifies a runtime system under evaluation.
@@ -87,26 +86,6 @@ func NewRuntime(m *sim.Machine, s System, workers int, schedTimer int64, mods ..
 // osAsyncThreadFactor models how many OS threads std::async keeps alive per
 // core under a blocking fork/join workload.
 const osAsyncThreadFactor = 4
-
-// spreadWithinNode places worker w (node-local index `local`) round-robin
-// across the chiplets of node `node` — the chiplet-oblivious scatter that
-// NUMA-aware runtimes produce within a node.
-func spreadWithinNode(t *topology.Topology, node topology.NodeID, local int) topology.CoreID {
-	chipletsPerNode := t.ChipletsPerNode
-	ch := local % chipletsPerNode
-	slot := (local / chipletsPerNode) % t.CoresPerChiplet
-	base := int(node) * t.CoresPerNode()
-	return topology.CoreID(base + ch*t.CoresPerChiplet + slot)
-}
-
-// nodeBalancedCore places worker w round-robin across NUMA nodes, scattered
-// across chiplets within each node.
-func nodeBalancedCore(worker int, t *topology.Topology) topology.CoreID {
-	nodes := t.NumNodes()
-	node := topology.NodeID(worker % nodes)
-	local := worker / nodes
-	return spreadWithinNode(t, node, local)
-}
 
 // dramFillDelta reads the DRAM fill counters of a worker's current core.
 func dramFills(w *core.Worker) (local, remote int64) {

@@ -5,6 +5,7 @@ import (
 
 	"charm/internal/core"
 	"charm/internal/mem"
+	"charm/internal/place"
 	"charm/internal/sim"
 	"charm/internal/topology"
 )
@@ -189,8 +190,8 @@ func TestCharmVsRingOnSharedData(t *testing.T) {
 func TestNodeBalancedCoreScattersChiplets(t *testing.T) {
 	topo := topology.AMDMilan7713x2()
 	// Consecutive same-node workers land on different chiplets.
-	c0 := nodeBalancedCore(0, topo) // node 0, local 0
-	c2 := nodeBalancedCore(2, topo) // node 0, local 1
+	c0 := place.NodeBalancedCore(0, topo) // node 0, local 0
+	c2 := place.NodeBalancedCore(2, topo) // node 0, local 1
 	if topo.ChipletOf(c0) == topo.ChipletOf(c2) {
 		t.Errorf("consecutive node-0 workers share chiplet %d", topo.ChipletOf(c0))
 	}

@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"charm/internal/core"
+	"charm/internal/place"
 	"charm/internal/topology"
 )
 
@@ -15,7 +16,7 @@ type ringPolicy struct{}
 func (p *ringPolicy) Name() string { return "ring" }
 
 func (p *ringPolicy) InitialCore(worker, workers int, t *topology.Topology) topology.CoreID {
-	return nodeBalancedCore(worker, t)
+	return place.NodeBalancedCore(worker, t)
 }
 
 func (p *ringPolicy) OnTimer(w *core.Worker, elapsed int64) {}
@@ -34,7 +35,7 @@ type shoalPolicy struct{}
 func (p *shoalPolicy) Name() string { return "shoal" }
 
 func (p *shoalPolicy) InitialCore(worker, workers int, t *topology.Topology) topology.CoreID {
-	return topology.CoreID(worker % t.NumCores())
+	return place.CompactCore(worker, t)
 }
 
 func (p *shoalPolicy) OnTimer(w *core.Worker, elapsed int64) {}
@@ -52,7 +53,7 @@ type asymSchedPolicy struct{}
 func (p *asymSchedPolicy) Name() string { return "asymsched" }
 
 func (p *asymSchedPolicy) InitialCore(worker, workers int, t *topology.Topology) topology.CoreID {
-	return nodeBalancedCore(worker, t)
+	return place.NodeBalancedCore(worker, t)
 }
 
 // OnTimer migrates the worker to the remote node when remote DRAM fills
@@ -71,7 +72,7 @@ func (p *asymSchedPolicy) OnTimer(w *core.Worker, elapsed int64) {
 	// memory placement together).
 	cur := t.NodeOfCore(w.Core())
 	next := topology.NodeID((int(cur) + 1) % t.NumNodes())
-	w.Migrate(spreadWithinNode(t, next, w.ID()/t.NumNodes()))
+	w.Migrate(place.WithinNodeCore(t, next, w.ID()/t.NumNodes()))
 	w.RebindAllocs(next)
 }
 
@@ -90,7 +91,7 @@ type samPolicy struct{}
 func (p *samPolicy) Name() string { return "sam" }
 
 func (p *samPolicy) InitialCore(worker, workers int, t *topology.Topology) topology.CoreID {
-	return nodeBalancedCore(worker, t)
+	return place.NodeBalancedCore(worker, t)
 }
 
 // OnTimer applies SAM's two rules: coherence-dominated workers consolidate
@@ -107,13 +108,13 @@ func (p *samPolicy) OnTimer(w *core.Worker, elapsed int64) {
 	case coh > 2*dram:
 		// Sharing-dominated: pull to socket 0 (chiplet-obliviously).
 		if t.SocketOfCore(w.Core()) != 0 {
-			w.Migrate(spreadWithinNode(t, 0, w.ID()))
+			w.Migrate(place.WithinNodeCore(t, 0, w.ID()))
 		}
 	case dram > 2*coh && dram > 0:
 		// Bandwidth-dominated: spread across sockets by worker parity.
 		want := topology.NodeID(w.ID() % t.NumNodes())
 		if t.NodeOfCore(w.Core()) != want {
-			w.Migrate(spreadWithinNode(t, want, w.ID()/t.NumNodes()))
+			w.Migrate(place.WithinNodeCore(t, want, w.ID()/t.NumNodes()))
 		}
 	}
 }
@@ -132,12 +133,7 @@ func (p *osAsyncPolicy) Name() string { return "os-async" }
 func (p *osAsyncPolicy) InitialCore(worker, workers int, t *topology.Topology) topology.CoreID {
 	// The OS spreads runnable threads over all cores; with a thread
 	// flood, every core hosts several.
-	cores := t.NumCores()
-	useCores := workers / osAsyncThreadFactor
-	if useCores < 1 || useCores > cores {
-		useCores = cores
-	}
-	return topology.CoreID(worker % useCores)
+	return place.OversubscribedCore(worker, workers, osAsyncThreadFactor, t)
 }
 
 func (p *osAsyncPolicy) OnTimer(w *core.Worker, elapsed int64) {}

@@ -9,6 +9,7 @@ import (
 
 	"charm/internal/admit"
 	"charm/internal/obs"
+	"charm/internal/place"
 )
 
 // This file implements the open-loop job service: jobs — multi-stage
@@ -16,8 +17,10 @@ import (
 // from a seeded arrival source (or external SubmitJob calls) while the
 // machine runs, pass a bounded admission queue with a pluggable
 // backpressure policy (block / reject / deadline-aware shed), and are
-// dispatched round-robin onto workers, skipping offlined cores and
-// chiplets whose circuit breaker is open. Cancellation is cooperative:
+// dispatched through the placement decision plane (internal/place): each
+// stage is co-located on the least-loaded live chiplet group whose
+// breaker admits it, with a legacy round-robin mode kept as the
+// comparison baseline. Cancellation is cooperative:
 // a cancelled job's queued tasks are discarded wherever a worker finds
 // them (deque, inbox, fault drain, retry), and its running coroutines
 // unwind at their next Yield point, so a dead job never consumes a fresh
@@ -211,6 +214,20 @@ func (s *SpecSource) Next() (int64, JobSpec, bool) {
 	return at, spec, true
 }
 
+// JobPlacement selects how dispatch maps a stage's tasks onto workers.
+type JobPlacement uint8
+
+const (
+	// PlaceLoadAware (the default) co-locates each stage's tasks on the
+	// least-loaded live chiplet group whose breaker admits them: locality
+	// for the stage's shared data, load balance across stages.
+	PlaceLoadAware JobPlacement = iota
+	// PlaceRoundRobin is the legacy blind rotation over workers, skipping
+	// offlined cores and refused chiplets — kept as the comparison
+	// baseline for the overload experiment.
+	PlaceRoundRobin
+)
+
 // JobServiceOptions configure ServeJobs.
 type JobServiceOptions struct {
 	// QueueCapacity bounds the admission queue (0 = 1024).
@@ -235,6 +252,9 @@ type JobServiceOptions struct {
 	// EvalInterval is the breaker/telemetry evaluation period in virtual
 	// ns (0 = the runtime's scheduler timer).
 	EvalInterval int64
+	// Placement selects the dispatch placement strategy (default
+	// PlaceLoadAware).
+	Placement JobPlacement
 }
 
 // JobStats summarizes a service's admission ledger.
@@ -282,23 +302,26 @@ type JobService struct {
 	brk *admit.Set // nil when breakers are off
 
 	// Arrival cursor: the next pending arrival pulled from Source.
-	pending    *Job
-	srcOK      bool
-	seq        uint64
-	rr         int // round-robin dispatch cursor
-	inflight   int
-	lastEval   int64
-	drainOnce  sync.Once
-	drained    chan struct{}
-	stats      JobStats
-	maxDepth   []int64 // per-chiplet queue-depth high-water mark
-	jobs       []*Job
-	latByPrio  map[int]*obs.Histogram
-	tasksCanc  atomic.Int64   // cancelled-task count (updated off-lock)
-	chExecSum  []atomic.Int64 // per-chiplet job-task exec time
-	chExecCnt  []atomic.Int64
-	lastChSum  []int64 // previous eval snapshots (window deltas)
-	lastChCnt  []int64
+	pending   *Job
+	srcOK     bool
+	seq       uint64
+	rr        int // round-robin dispatch cursor
+	inflight  int
+	lastEval  int64
+	drainOnce sync.Once
+	drained   chan struct{}
+	stats     JobStats
+	maxDepth  []int64 // per-chiplet queue-depth high-water mark
+	jobs      []*Job
+	latByPrio map[int]*obs.Histogram
+	tasksCanc atomic.Int64   // cancelled-task count (updated off-lock)
+	chExecSum []atomic.Int64 // per-chiplet job-task exec time
+	chExecCnt []atomic.Int64
+	lastChSum []int64 // previous eval snapshots (window deltas)
+	lastChCnt []int64
+	// obsMilli is the last evaluation window's observed per-chiplet
+	// slowdown, fed to dispatch views; replaced wholesale at each eval.
+	obsMilli   []int64
 	everServed bool
 }
 
@@ -719,15 +742,19 @@ func (s *JobService) evalLocked(now int64) {
 		fleetCnt += cnts[ch]
 	}
 	minS := s.brk.Config().MinSamples
-	obsMilli := func(ch int) int64 {
+	// A fresh slice every window: dispatch views hold a reference to the
+	// previous one, which must stay frozen for replayability.
+	om := make([]int64, n)
+	for ch := 0; ch < n; ch++ {
 		if cnts[ch] < minS || fleetCnt == 0 || fleetSum == 0 {
-			return 0
+			continue
 		}
 		chMean := float64(sums[ch]) / float64(cnts[ch])
 		fleetMean := float64(fleetSum) / float64(fleetCnt)
-		return int64(1000 * chMean / fleetMean)
+		om[ch] = int64(1000 * chMean / fleetMean)
 	}
-	s.brk.EvalPlan(now, s.rt.opts.Faults, obsMilli)
+	s.obsMilli = om
+	s.brk.EvalPlan(now, s.rt.opts.Faults, func(ch int) int64 { return om[ch] })
 	s.rt.met.breakersOpen.Set(0, int64(s.brk.Open()))
 }
 
@@ -754,36 +781,102 @@ func (s *JobService) dispatchStageLocked(j *Job, now int64) {
 	g := newGroup()
 	g.job = j
 	g.add(int64(len(stage)))
-	for _, fn := range stage {
-		wid := s.placeLocked(now)
+	wids := s.placeStageLocked(now, len(stage))
+	for i, fn := range stage {
+		wid := wids[i]
 		t := s.rt.newTask(fn, g, now, j.spec.Coro, wid)
 		t.job = j
 		s.rt.workers[wid].inbox.Put(t)
 	}
 }
 
-// placeLocked picks the next dispatch target: round-robin over workers,
-// skipping offlined cores and chiplets with an open breaker. When every
-// worker is refused (all breakers open, all cores down) it falls back to
-// plain round-robin — the work has to go somewhere.
-func (s *JobService) placeLocked(now int64) int {
-	n := len(s.rt.workers)
-	plan := s.rt.opts.Faults
-	topo := s.rt.M.Topo
+// placeStageLocked picks dispatch targets for a stage's n tasks from a
+// single MachineView. Load-aware mode co-locates the stage on the most
+// preferable chiplet — live workers, closed breaker, lowest fused health
+// penalty, shallowest queues — spreading tasks across that chiplet's
+// workers; refused chiplets are ordered last (not excluded) so a breaker
+// past its retry window still sees the probe traffic it needs to heal.
+// The breaker's Allow remains the authoritative admission gate: it is
+// consulted (and its half-open probe budget consumed) per stage here.
+func (s *JobService) placeStageLocked(now int64, n int) []int {
+	v := s.viewLocked(now)
+	out := make([]int, 0, n)
+	if s.opts.Placement == PlaceRoundRobin {
+		for k := 0; k < n; k++ {
+			out = append(out, s.placeRoundRobinLocked(v))
+		}
+		return out
+	}
+	m := s.rt.met
+	// Admit chiplets lazily in preference order until every task in the
+	// stage has a dedicated live worker (or the list is exhausted): small
+	// stages co-locate on the top group, larger stages spill onto the
+	// next-preferred groups instead of stacking one group's queues.
+	chs := v.ChipletsByPreference(s.rr)
+	var cand []int
+	for _, ch := range chs {
+		if len(cand) >= n {
+			break
+		}
+		grp := v.LiveWorkersOn(ch)
+		if len(grp) == 0 {
+			continue
+		}
+		if s.brk != nil && !s.brk.Allow(int(ch)) {
+			continue
+		}
+		cand = append(cand, grp...)
+	}
+	for k := 0; k < n; k++ {
+		if len(cand) == 0 {
+			out = append(out, s.placeFallbackLocked(v))
+			continue
+		}
+		out = append(out, cand[k%len(cand)])
+		m.placeJob.Inc(0)
+	}
+	// Rotate the chiplet tie-break cursor so equally-preferable chiplets
+	// take turns across stages instead of pinning the first one.
+	s.rr++
+	return out
+}
+
+// placeRoundRobinLocked is the legacy baseline: rotate over workers,
+// skipping offlined cores and chiplets whose breaker refuses admission.
+func (s *JobService) placeRoundRobinLocked(v *place.View) int {
+	n := v.NumWorkers()
 	for i := 0; i < n; i++ {
 		wid := s.rr % n
 		s.rr++
-		w := s.rt.workers[wid]
-		if plan != nil && plan.CoreDown(w.Core(), now) {
+		c := v.CoreOf(wid)
+		if !v.IsLive(c) {
 			continue
 		}
-		if s.brk != nil && !s.brk.Allow(int(topo.ChipletOf(w.Core()))) {
+		if s.brk != nil && !s.brk.Allow(int(v.Topology().ChipletOf(c))) {
 			continue
 		}
 		return wid
 	}
+	return s.placeFallbackLocked(v)
+}
+
+// placeFallbackLocked handles the every-worker-refused case (all breakers
+// open and unwilling to probe, or no live chiplet group): prefer any
+// worker still on a live core, and only when the fault plan has downed
+// every core fall back to blind rotation — the work has to go somewhere.
+func (s *JobService) placeFallbackLocked(v *place.View) int {
+	n := v.NumWorkers()
+	for i := 0; i < n; i++ {
+		wid := s.rr % n
+		s.rr++
+		if v.IsLive(v.CoreOf(wid)) {
+			s.rt.met.placeFallbackLive.Inc(0)
+			return wid
+		}
+	}
 	wid := s.rr % n
 	s.rr++
+	s.rt.met.placeFallbackBlind.Inc(0)
 	return wid
 }
 

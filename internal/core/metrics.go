@@ -51,6 +51,15 @@ type rtMetrics struct {
 	jobTasksCancelled *obs.Counter
 	jobQueueDepth     *obs.Gauge
 	breakersOpen      *obs.Gauge
+
+	// Placement decision-plane counters: one per Select site, labeled by
+	// site, plus the two dispatch fallback tiers.
+	placeAlg2          *obs.Counter
+	placeRehome        *obs.Counter
+	placeJob           *obs.Counter
+	placeSteal         *obs.Counter
+	placeFallbackLive  *obs.Counter
+	placeFallbackBlind *obs.Counter
 }
 
 // newRTMetrics builds the registry (one shard per worker) and the
@@ -106,6 +115,24 @@ func newRTMetrics(rt *Runtime, workers int) *rtMetrics {
 			"Current admission-queue length.", nil, obs.Traced()),
 		breakersOpen: reg.Gauge("charm_breakers_open",
 			"Chiplet circuit breakers currently not closed.", nil, obs.Traced()),
+		placeAlg2: reg.Counter("charm_place_decisions_total",
+			"Placement decisions taken through the internal/place plane.",
+			obs.Labels{"site": "alg2"}),
+		placeRehome: reg.Counter("charm_place_decisions_total",
+			"Placement decisions taken through the internal/place plane.",
+			obs.Labels{"site": "rehome"}),
+		placeJob: reg.Counter("charm_place_decisions_total",
+			"Placement decisions taken through the internal/place plane.",
+			obs.Labels{"site": "job"}),
+		placeSteal: reg.Counter("charm_place_decisions_total",
+			"Placement decisions taken through the internal/place plane.",
+			obs.Labels{"site": "steal-order"}),
+		placeFallbackLive: reg.Counter("charm_place_fallback_total",
+			"Dispatch placements that fell back past every preferred chiplet.",
+			obs.Labels{"kind": "live"}),
+		placeFallbackBlind: reg.Counter("charm_place_fallback_total",
+			"Dispatch placements that fell back past every preferred chiplet.",
+			obs.Labels{"kind": "blind"}),
 	}
 	reg.Func("charm_live_tasks", "Currently executing or suspended tasks.",
 		obs.KindGauge, nil, func(int64) float64 { return float64(rt.liveTasks.Load()) },

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"charm/internal/admit"
+	"charm/internal/place"
+	"charm/internal/topology"
+)
+
+// This file is the only bridge between the runtime's mutable scheduling
+// state and the immutable place.View snapshots every placement decision
+// queries. Policy code (policy.go), steal-order construction
+// (stealorder.go), and job dispatch (job.go) never read coreOcc /
+// workerOnCore / fault-plan liveness directly — they ask for a view built
+// here at an explicit virtual time, which keeps each decision a pure
+// function of (virtual time, snapshot) and therefore replayable.
+
+// placeSnapshot captures the engine's placement state at virtual time
+// now: per-core liveness from the fault plan, occupancy, the
+// worker-on-core map, each worker's core, and each worker's queue depth.
+func (rt *Runtime) placeSnapshot(now int64) place.Snapshot {
+	n := rt.M.Topo.NumCores()
+	snap := place.Snapshot{
+		Occ:        make([]int32, n),
+		WorkerOn:   make([]int32, n),
+		WorkerCore: make([]topology.CoreID, len(rt.workers)),
+		QueueDepth: make([]int64, len(rt.workers)),
+	}
+	for c := 0; c < n; c++ {
+		snap.Occ[c] = rt.coreOcc[c].Load()
+		snap.WorkerOn[c] = rt.workerOnCore[c].Load()
+	}
+	if plan := rt.opts.Faults; plan != nil {
+		snap.Live = make([]bool, n)
+		for c := 0; c < n; c++ {
+			snap.Live[c] = !plan.CoreDown(topology.CoreID(c), now)
+		}
+	}
+	for i, w := range rt.workers {
+		snap.WorkerCore[i] = w.Core()
+		snap.QueueDepth[i] = w.inbox.Len() + int64(w.deque.Len())
+	}
+	return snap
+}
+
+// placeView builds the policy-facing MachineView (no job-service health
+// signals: Alg. 2 enactment, re-homing, and steal ordering predate and
+// outlive any installed job service).
+func (rt *Runtime) placeView(now int64) *place.View {
+	return place.NewView(rt.ranks, now, rt.placeSnapshot(now))
+}
+
+// viewLocked builds the dispatch-facing MachineView: the engine snapshot
+// plus per-chiplet health fusing the fault plan's thermal/link
+// milli-factors, the PMU-observed slowdown from the last breaker
+// evaluation window, and breaker refusal state. Caller holds s.mu.
+func (s *JobService) viewLocked(now int64) *place.View {
+	rt := s.rt
+	snap := rt.placeSnapshot(now)
+	nch := rt.M.Topo.NumChiplets()
+	if plan := rt.opts.Faults; plan != nil {
+		snap.PlanMilli = make([]int64, nch)
+		for ch := 0; ch < nch; ch++ {
+			id := topology.ChipletID(ch)
+			pm := plan.ThermalMilli(id, now)
+			if lm := plan.ChipletLinkMilli(id, now); lm > pm {
+				pm = lm
+			}
+			snap.PlanMilli[ch] = pm
+		}
+	}
+	// obsMilli is replaced wholesale at each evaluation, never mutated in
+	// place, so handing the slice to the view preserves immutability.
+	snap.ObsMilli = s.obsMilli
+	if s.brk != nil {
+		snap.BreakerOpen = make([]bool, nch)
+		for ch := 0; ch < nch; ch++ {
+			snap.BreakerOpen[ch] = s.brk.State(ch) == admit.BreakerOpen
+		}
+	}
+	return place.NewView(rt.ranks, now, snap)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"charm/internal/place"
 	"charm/internal/topology"
 )
 
@@ -58,7 +59,7 @@ func (p *CharmPolicy) Name() string { return "charm" }
 // initial task-to-worker-to-core mapping until profiling detects
 // inefficiency.
 func (p *CharmPolicy) InitialCore(worker, workers int, t *topology.Topology) topology.CoreID {
-	return topology.CoreID(worker % t.NumCores())
+	return place.CompactCore(worker, t)
 }
 
 // OnTimer is Algorithm 1 (ChipletScheduling). The caller guarantees
@@ -116,70 +117,26 @@ func (p *CharmPolicy) AssignWorker(i int, phase uint64, workers int) int {
 // baselines do not implement Rehomer at all, so their workers always park —
 // the self-healing contrast the chaos experiment measures.
 func (p *CharmPolicy) Rehome(w *Worker, now int64) (topology.CoreID, bool) {
-	plan := w.rt.opts.Faults
-	for _, c := range w.rt.coresByDistance[w.Core()] {
-		if plan.CoreDown(c, now) {
-			continue
-		}
-		if w.rt.coreOcc[c].Load() == 0 {
-			return c, true
-		}
+	v := w.rt.placeView(now)
+	c, ok := v.Select(place.Nearest(w.Core()), place.Live, place.Idle)
+	if ok {
+		w.rt.met.placeRehome.Inc(w.id)
 	}
-	return 0, false
+	return c, ok
 }
 
-// UpdateLocation is Algorithm 2: translate the worker's spread_rate into a
-// deterministic, collision-free (chiplet, slot) assignment, then enact it
-// as core affinity plus a NUMA memory binding.
-//
-// Deviation from the paper's pseudo-code: the published wrap-around term
-// slot += floor(id / CORES_PER_CHIPLET) produces colliding slots for some
-// (workers, spread) combinations (e.g. 64 workers, spread 2). We use the
-// algebraically collision-free equivalent slot += lap * div with
-// lap = floor(id / (CHIPLETS * div)), which matches the paper's term in all
-// the configurations its evaluation exercises and is a bijection over a
-// socket in general (see DESIGN.md).
+// UpdateLocation is Algorithm 2's enactment: translate the worker's
+// spread_rate into the deterministic, collision-free (chiplet, slot)
+// assignment computed by place.Alg2Core, then enact it as core affinity
+// plus a NUMA memory binding (set_thread_affinity + set_mempolicy).
 func UpdateLocation(w *Worker) {
-	topo := w.rt.M.Topo
-	cpc := topo.CoresPerChiplet
-	chiplets := topo.ChipletsPerNode * topo.NodesPerSocket // per socket
-	coresPerSocket := topo.CoresPerSocket()
-
-	// Socket-aware split: workers fill socket 0 before socket 1 (§4.6).
-	socket := w.id / coresPerSocket
-	if socket >= topo.Sockets {
-		socket = topo.Sockets - 1
-	}
-	localID := w.id - socket*coresPerSocket
-	workersInSocket := w.rt.Workers() - socket*coresPerSocket
-	if workersInSocket > coresPerSocket {
-		workersInSocket = coresPerSocket
-	}
-
-	spread := w.spreadRate
-	// Bounds check (Alg. 2 line 2): spread must address physical chiplets
-	// and leave a dedicated core per worker.
-	if spread < 1 || spread > chiplets || workersInSocket > spread*cpc {
+	core, ok := place.Alg2Core(w.id, w.rt.Workers(), w.spreadRate, w.rt.M.Topo)
+	if !ok {
+		// Bounds check failed (Alg. 2 line 2): keep the current placement.
 		return
 	}
-
-	div := cpc / spread // consecutive workers sharing a chiplet
-	if div < 1 {
-		div = 1
-	}
-	chiplet := localID / div
-	slot := localID % div
-	if chiplet >= chiplets {
-		lap := localID / (chiplets * div)
-		chiplet %= chiplets
-		slot += lap * div
-	}
-	if slot >= cpc {
-		// Unreachable for valid inputs; guard against misconfiguration.
-		panic(fmt.Sprintf("core: UpdateLocation slot overflow (worker %d spread %d)", w.id, spread))
-	}
-	core := topology.CoreID(socket*coresPerSocket + chiplet*cpc + slot)
-	if p := w.rt.opts.Faults; p != nil && p.CoreDown(core, w.clock.Now()) {
+	w.rt.met.placeAlg2.Inc(w.id)
+	if w.rt.opts.Faults != nil && !w.rt.placeView(w.clock.Now()).IsLive(core) {
 		// Alg. 2 would move the worker onto a core the fault plan has
 		// offlined; stay put and let the next decision interval retry.
 		return
@@ -223,29 +180,15 @@ func NewStaticPolicy(mode StaticMode) *StaticPolicy {
 // Name implements Policy.
 func (p *StaticPolicy) Name() string { return p.name }
 
-// InitialCore implements Policy.
+// InitialCore implements Policy via the decision plane's pure layouts.
 func (p *StaticPolicy) InitialCore(worker, workers int, t *topology.Topology) topology.CoreID {
 	switch p.mode {
 	case Compact:
-		return topology.CoreID(worker % t.NumCores())
+		return place.CompactCore(worker, t)
 	case SpreadChiplets:
-		// Socket-fill, but stride chiplets within the socket.
-		cps := t.CoresPerSocket()
-		socket := worker / cps
-		if socket >= t.Sockets {
-			socket = t.Sockets - 1
-		}
-		local := worker - socket*cps
-		chipletsPerSocket := t.NodesPerSocket * t.ChipletsPerNode
-		ch := local % chipletsPerSocket
-		slot := local / chipletsPerSocket
-		return topology.CoreID(socket*cps + ch*t.CoresPerChiplet + slot%t.CoresPerChiplet)
+		return place.SpreadChipletsCore(worker, t)
 	case SpreadSockets:
-		// Round-robin across NUMA nodes; dense within each node.
-		nodes := t.NumNodes()
-		node := worker % nodes
-		slot := worker / nodes
-		return topology.CoreID(node*t.CoresPerNode() + slot%t.CoresPerNode())
+		return place.SpreadNodesCore(worker, t)
 	default:
 		panic(fmt.Sprintf("core: unknown static mode %d", p.mode))
 	}

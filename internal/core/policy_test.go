@@ -39,6 +39,32 @@ func TestUpdateLocationCollisionFree(t *testing.T) {
 	}
 }
 
+// TestUpdateLocationCollisionFreeIntel repeats the collision property on
+// the Intel SPR preset (4 chiplets x 12 cores per socket), whose
+// chiplet/slot divisors differ from Milan's — the shape where the paper's
+// published wrap-around term breaks.
+func TestUpdateLocationCollisionFreeIntel(t *testing.T) {
+	topo := topology.IntelSPR8488Cx2()
+	for workers := 1; workers <= topo.NumCores(); workers++ {
+		for spread := 1; spread <= topo.ChipletsPerNode*topo.NodesPerSocket; spread++ {
+			rt := stoppedRuntime(t, topo, workers, NewCharmPolicy())
+			for i := 0; i < workers; i++ {
+				rt.workers[i].spreadRate = spread
+				UpdateLocation(rt.workers[i])
+			}
+			seen := map[topology.CoreID][]int{}
+			for i := 0; i < workers; i++ {
+				seen[rt.workers[i].Core()] = append(seen[rt.workers[i].Core()], i)
+			}
+			for c, ws := range seen {
+				if len(ws) > 1 {
+					t.Fatalf("workers=%d spread=%d: core %d shared by %v", workers, spread, c, ws)
+				}
+			}
+		}
+	}
+}
+
 func TestUpdateLocationBoundsCheck(t *testing.T) {
 	topo := topology.AMDMilan7713x2()
 	rt := stoppedRuntime(t, topo, 64, NewCharmPolicy())

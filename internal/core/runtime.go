@@ -20,6 +20,7 @@ import (
 
 	"charm/internal/fault"
 	"charm/internal/mem"
+	"charm/internal/place"
 	"charm/internal/pmu"
 	"charm/internal/sim"
 	"charm/internal/topology"
@@ -134,9 +135,9 @@ type Runtime struct {
 	workerOnCore []atomic.Int32
 	coreOcc      []atomic.Int32
 
-	// coresByDistance[c] lists all cores ordered by latency class from c;
-	// precomputed for steal-victim ordering.
-	coresByDistance [][]topology.CoreID
+	// ranks precomputes the topological distance ordering every placement
+	// view shares (steal-victim ordering, fault re-homing).
+	ranks *place.Ranks
 
 	phase      atomic.Int64 // virtual start time of the next submission
 	placeEpoch atomic.Int64 // bumped on every placement change
@@ -229,12 +230,12 @@ func NewRuntime(m *sim.Machine, opts Options) *Runtime {
 	}
 
 	rt := &Runtime{
-		M:               m,
-		opts:            opts,
-		workerOnCore:    make([]atomic.Int32, m.Topo.NumCores()),
-		coreOcc:         make([]atomic.Int32, m.Topo.NumCores()),
-		coresByDistance: rankCores(m.Topo),
-		prof:            NewProfiler(),
+		M:            m,
+		opts:         opts,
+		workerOnCore: make([]atomic.Int32, m.Topo.NumCores()),
+		coreOcc:      make([]atomic.Int32, m.Topo.NumCores()),
+		ranks:        place.NewRanks(m.Topo),
+		prof:         NewProfiler(),
 	}
 	// The observability layer: a per-worker-sharded registry covering the
 	// runtime and the whole simulated machine, attached to the profiler
@@ -262,25 +263,6 @@ func NewRuntime(m *sim.Machine, opts Options) *Runtime {
 		rt.ls = newLockstep(rt, opts.Workers)
 	}
 	return rt
-}
-
-// rankCores precomputes, for every core, all machine cores sorted by
-// topological distance (stable within a class by core number).
-func rankCores(t *topology.Topology) [][]topology.CoreID {
-	n := t.NumCores()
-	out := make([][]topology.CoreID, n)
-	for c := 0; c < n; c++ {
-		order := make([]topology.CoreID, 0, n)
-		for class := topology.IntraChiplet; class <= topology.InterSocket; class++ {
-			for o := 0; o < n; o++ {
-				if o != c && t.ClassOf(topology.CoreID(c), topology.CoreID(o)) == class {
-					order = append(order, topology.CoreID(o))
-				}
-			}
-		}
-		out[c] = order
-	}
-	return out
 }
 
 // Runtime lifecycle states.

@@ -22,14 +22,8 @@ const (
 // finally across sockets (§4.4's stealing strategy).
 func (w *Worker) chipletFirstOrder() []int {
 	return w.cachedOrder(orderChipletFirst, func() []int {
-		rt := w.rt
-		out := make([]int, 0, len(rt.workers)-1)
-		for _, c := range rt.coresByDistance[w.Core()] {
-			if v := rt.workerOnCore[c].Load(); v >= 0 && int(v) != w.id {
-				out = append(out, int(v))
-			}
-		}
-		return out
+		w.rt.met.placeSteal.Inc(w.id)
+		return w.rt.placeView(w.clock.Now()).VictimsByDistance(w.Core(), w.id)
 	})
 }
 
@@ -50,21 +44,8 @@ func (w *Worker) sequentialOrder() []int {
 // then the rest — NUMA-aware but chiplet-oblivious stealing (RING/SAM).
 func (w *Worker) nodeFirstOrder() []int {
 	return w.cachedOrder(orderNodeFirst, func() []int {
-		rt := w.rt
-		topo := rt.M.Topo
-		self := topo.NodeOfCore(w.Core())
-		var same, other []int
-		for _, v := range rt.workers {
-			if v.id == w.id {
-				continue
-			}
-			if topo.NodeOfCore(v.Core()) == self {
-				same = append(same, v.id)
-			} else {
-				other = append(other, v.id)
-			}
-		}
-		return append(same, other...)
+		w.rt.met.placeSteal.Inc(w.id)
+		return w.rt.placeView(w.clock.Now()).VictimsNodeFirst(w.Core(), w.id)
 	})
 }
 

@@ -407,15 +407,17 @@ func TestFig8IntelNarrowerThanAMD(t *testing.T) {
 
 // TestOverloadShape asserts the admission experiment's acceptance shape:
 // deadline-aware shedding sustains >=90% goodput at 2x capacity while the
-// no-admission baseline's p99 diverges; the chiplet-1 circuit breaker caps
-// the browned-out chiplet's queue depth relative to a breaker-off run; and
-// the shed-2x cell replays byte for byte.
+// no-admission baseline's p99 diverges; load-aware dispatch meets or beats
+// the round-robin placement ablation on goodput and p99 at 1x and 2x; the
+// chiplet-1 circuit breaker caps the browned-out chiplet's queue depth
+// relative to a breaker-off run; and the shed-2x cell replays byte for
+// byte.
 func TestOverloadShape(t *testing.T) {
 	tab := testOptions().Overload()
 	goodCol, p99Col := tab.Col("goodput_pct"), tab.Col("p99_us")
 	maxqCol, reproCol := tab.Col("maxq_ch1"), tab.Col("repro")
-	if len(tab.Rows) != 14 {
-		t.Fatalf("rows = %d, want 14", len(tab.Rows))
+	if len(tab.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(tab.Rows))
 	}
 	get := func(name string) []string {
 		r := tab.Find(name)
@@ -445,6 +447,19 @@ func TestOverloadShape(t *testing.T) {
 		r := get(name)
 		if r[2] != "400" || r[3] != "400" {
 			t.Errorf("%s: completed/met = %s/%s, want 400/400", name, r[2], r[3])
+		}
+	}
+	// Load-aware placement must meet or beat the round-robin ablation at
+	// matched load (small tolerance for placement-order noise).
+	for _, load := range []string{"1x", "2x"} {
+		la, rr := get("shed-"+load), get("rr-"+load)
+		laG, rrG := parse(t, la[goodCol]), parse(t, rr[goodCol])
+		if laG < rrG-1 {
+			t.Errorf("load-aware %s goodput %.1f%% below round-robin %.1f%%", load, laG, rrG)
+		}
+		laP, rrP := parse(t, la[p99Col]), parse(t, rr[p99Col])
+		if laP > rrP*1.05 {
+			t.Errorf("load-aware %s p99 %.1fus above round-robin %.1fus", load, laP, rrP)
 		}
 	}
 	off, on := get("breaker-off-2x"), get("breaker-on-2x")

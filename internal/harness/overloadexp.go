@@ -48,7 +48,7 @@ type overloadResult struct {
 // overloadRun serves ovJobs Poisson arrivals at `load` times capacity under
 // one admission policy and drains the machine. A nil schedule runs healthy.
 func (o Options) overloadRun(policy charm.AdmitPolicy, queueCap int, load float64,
-	breakers bool, faults *charm.FaultSchedule) overloadResult {
+	breakers bool, faults *charm.FaultSchedule, placement charm.JobPlacement) overloadResult {
 	rt, err := charm.Init(charm.Config{
 		Topology:      topology.Synthetic(4, 2),
 		Workers:       ovWorkers,
@@ -64,6 +64,7 @@ func (o Options) overloadRun(policy charm.AdmitPolicy, queueCap int, load float6
 		Policy:        policy,
 		QueueCapacity: queueCap,
 		Breakers:      breakers,
+		Placement:     placement,
 		EvalInterval:  50_000,
 		Source: &charm.SpecSource{
 			Arrivals: charm.NewPoissonArrivals(ovSeed, int64(float64(ovGap1x)/load), ovJobs),
@@ -185,10 +186,10 @@ func (o Options) Overload() *Table {
 	}
 	for _, p := range policies {
 		for _, load := range loads {
-			r := o.overloadRun(p.policy, p.queueCap, load, false, nil)
+			r := o.overloadRun(p.policy, p.queueCap, load, false, nil, charm.PlaceLoadAware)
 			repro := "-"
 			if p.name == "shed" && load == 2 {
-				again := o.overloadRun(p.policy, p.queueCap, load, false, nil)
+				again := o.overloadRun(p.policy, p.queueCap, load, false, nil, charm.PlaceLoadAware)
 				repro = "no"
 				if overloadSame(r, again) {
 					repro = "yes"
@@ -197,10 +198,20 @@ func (o Options) Overload() *Table {
 			tab.Rows = append(tab.Rows, row(fmt.Sprintf("%s-%gx", p.name, load), r, repro))
 		}
 	}
+	// Placement ablation: shed admission with the legacy round-robin
+	// dispatch, the comparison the load-aware decision plane must meet or
+	// beat on goodput and p99 at matched load.
+	for _, load := range []float64{1, 2} {
+		r := o.overloadRun(charm.AdmitShed, ovQueueCap, load, false, nil, charm.PlaceRoundRobin)
+		tab.Rows = append(tab.Rows, row(fmt.Sprintf("rr-%gx", load), r, "-"))
+	}
 	// Breaker scenario: chiplet 1 runs 3x slow; with breakers on, its
-	// admission refusals cap the browned-out chiplet's queue depth.
-	off := o.overloadRun(charm.AdmitShed, ovQueueCap, 2, false, ovThermal())
-	on := o.overloadRun(charm.AdmitShed, ovQueueCap, 2, true, ovThermal())
+	// admission refusals cap the browned-out chiplet's queue depth. The
+	// pair runs under round-robin placement: load-aware dispatch already
+	// routes around the browned-out chiplet via the view's fused health,
+	// so the blind baseline is what isolates the breaker's own effect.
+	off := o.overloadRun(charm.AdmitShed, ovQueueCap, 2, false, ovThermal(), charm.PlaceRoundRobin)
+	on := o.overloadRun(charm.AdmitShed, ovQueueCap, 2, true, ovThermal(), charm.PlaceRoundRobin)
 	tab.Rows = append(tab.Rows, row("breaker-off-2x", off, "-"))
 	tab.Rows = append(tab.Rows, row("breaker-on-2x", on, "-"))
 	return tab

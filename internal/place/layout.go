@@ -1,0 +1,128 @@
+package place
+
+import (
+	"fmt"
+
+	"charm/internal/topology"
+)
+
+// Pure placement-shape functions: the static worker→core layouts the
+// policies and baselines used to compute inline. They depend only on
+// their arguments, never on runtime state, so initial placement is
+// trivially replayable.
+
+// CompactCore fills cores densely in worker order — socket 0 first,
+// chiplet by chiplet (CHARM's §4.6 socket-fill initial placement and the
+// LocalCache static mode).
+func CompactCore(worker int, t *topology.Topology) topology.CoreID {
+	return topology.CoreID(worker % t.NumCores())
+}
+
+// SpreadChipletsCore fills sockets in worker order but round-robins the
+// chiplets within each socket (DistributedCache: maximum aggregate L3).
+func SpreadChipletsCore(worker int, t *topology.Topology) topology.CoreID {
+	cps := t.CoresPerSocket()
+	socket := worker / cps
+	if socket >= t.Sockets {
+		socket = t.Sockets - 1
+	}
+	local := worker - socket*cps
+	chipletsPerSocket := t.NodesPerSocket * t.ChipletsPerNode
+	ch := local % chipletsPerSocket
+	slot := local / chipletsPerSocket
+	return topology.CoreID(socket*cps + ch*t.CoresPerChiplet + slot%t.CoresPerChiplet)
+}
+
+// SpreadNodesCore round-robins workers across NUMA nodes, dense within
+// each node (the classic NUMA-balancing placement of RING/SAM-style
+// runtimes' static variant).
+func SpreadNodesCore(worker int, t *topology.Topology) topology.CoreID {
+	nodes := t.NumNodes()
+	node := worker % nodes
+	slot := worker / nodes
+	return topology.CoreID(node*t.CoresPerNode() + slot%t.CoresPerNode())
+}
+
+// WithinNodeCore places node-local index local round-robin across the
+// chiplets of node — the chiplet-oblivious scatter NUMA-aware runtimes
+// produce within a node.
+func WithinNodeCore(t *topology.Topology, node topology.NodeID, local int) topology.CoreID {
+	ch := local % t.ChipletsPerNode
+	slot := (local / t.ChipletsPerNode) % t.CoresPerChiplet
+	base := int(node) * t.CoresPerNode()
+	return topology.CoreID(base + ch*t.CoresPerChiplet + slot)
+}
+
+// NodeBalancedCore places worker round-robin across NUMA nodes, scattered
+// across chiplets within each node (RING/AsymSched/SAM initial placement).
+func NodeBalancedCore(worker int, t *topology.Topology) topology.CoreID {
+	nodes := t.NumNodes()
+	node := topology.NodeID(worker % nodes)
+	local := worker / nodes
+	return WithinNodeCore(t, node, local)
+}
+
+// OversubscribedCore models an OS spreading a thread flood of
+// workers = threads over workers/threadFactor cores round-robin (the
+// std::async baseline's placement).
+func OversubscribedCore(worker, workers, threadFactor int, t *topology.Topology) topology.CoreID {
+	cores := t.NumCores()
+	useCores := workers / threadFactor
+	if useCores < 1 || useCores > cores {
+		useCores = cores
+	}
+	return topology.CoreID(worker % useCores)
+}
+
+// Alg2Core is Algorithm 2's deterministic, collision-free (chiplet, slot)
+// assignment: translate a worker's spread rate into a core within its
+// socket. It returns ok=false when the bounds check fails (spread cannot
+// address physical chiplets, or cannot leave a dedicated core per worker
+// in the socket), in which case the caller keeps its current placement.
+//
+// Deviation from the paper's pseudo-code: the published wrap-around term
+// slot += floor(id / CORES_PER_CHIPLET) produces colliding slots for some
+// (workers, spread) combinations (e.g. 64 workers, spread 2). We use the
+// algebraically collision-free equivalent slot += lap * div with
+// lap = floor(id / (CHIPLETS * div)), which matches the paper's term in
+// all the configurations its evaluation exercises and is a bijection over
+// a socket in general (see DESIGN.md).
+func Alg2Core(worker, workers, spread int, t *topology.Topology) (topology.CoreID, bool) {
+	cpc := t.CoresPerChiplet
+	chiplets := t.ChipletsPerNode * t.NodesPerSocket // per socket
+	coresPerSocket := t.CoresPerSocket()
+
+	// Socket-aware split: workers fill socket 0 before socket 1 (§4.6).
+	socket := worker / coresPerSocket
+	if socket >= t.Sockets {
+		socket = t.Sockets - 1
+	}
+	localID := worker - socket*coresPerSocket
+	workersInSocket := workers - socket*coresPerSocket
+	if workersInSocket > coresPerSocket {
+		workersInSocket = coresPerSocket
+	}
+
+	// Bounds check (Alg. 2 line 2): spread must address physical chiplets
+	// and leave a dedicated core per worker.
+	if spread < 1 || spread > chiplets || workersInSocket > spread*cpc {
+		return 0, false
+	}
+
+	div := cpc / spread // consecutive workers sharing a chiplet
+	if div < 1 {
+		div = 1
+	}
+	chiplet := localID / div
+	slot := localID % div
+	if chiplet >= chiplets {
+		lap := localID / (chiplets * div)
+		chiplet %= chiplets
+		slot += lap * div
+	}
+	if slot >= cpc {
+		// Unreachable for valid inputs; guard against misconfiguration.
+		panic(fmt.Sprintf("place: Alg2Core slot overflow (worker %d spread %d)", worker, spread))
+	}
+	return topology.CoreID(socket*coresPerSocket + chiplet*cpc + slot), true
+}

@@ -1,0 +1,73 @@
+// Package place is the runtime's placement decision plane. Every
+// "which core / which worker" choice the system makes — initial worker
+// placement, Alg. 2 location updates, fault re-homing, steal-victim
+// ordering, and open-loop job dispatch — is phrased as a query against an
+// immutable MachineView snapshot (View) built from explicit engine state
+// at an explicit virtual time, instead of each call site walking the
+// runtime's mutable occupancy/fault/breaker state itself.
+//
+// The pipeline is: view → constraints → scorer → enactment. A View fuses
+// the precomputed distance ranks, per-core liveness from the fault plan,
+// occupancy and the worker-on-core map, per-chiplet health (fault-plan
+// milli-factors, PMU-observed slowdown, breaker refusal), and per-worker
+// queue depth. Constraints (Live, Idle, BreakerClosed) filter candidate
+// cores; Scorers (Nearest, LeastLoaded, RoundRobin) order them; Select
+// and Rank resolve the query deterministically (ties break toward the
+// lower core ID). Enactment — actually migrating a worker or enqueueing a
+// task — stays with the caller, so every decision remains a pure function
+// of virtual time and the snapshot, which is what keeps deterministic-
+// lockstep runs bit-identical across replays.
+package place
+
+import "charm/internal/topology"
+
+// Ranks precomputes, for every core, all other cores sorted by
+// topological distance (latency class, stable within a class by core
+// number) — the ordering chiplet-first stealing and fault re-homing walk.
+// Ranks are immutable and shared by every View of one machine.
+type Ranks struct {
+	topo *topology.Topology
+	from [][]topology.CoreID
+	// pos[c][o] is o's position in from[c]; pos[c][c] = -1 so a core is
+	// always nearest to itself.
+	pos [][]int32
+}
+
+// NewRanks builds the distance ranking for topology t.
+func NewRanks(t *topology.Topology) *Ranks {
+	n := t.NumCores()
+	r := &Ranks{
+		topo: t,
+		from: make([][]topology.CoreID, n),
+		pos:  make([][]int32, n),
+	}
+	for c := 0; c < n; c++ {
+		order := make([]topology.CoreID, 0, n-1)
+		for class := topology.IntraChiplet; class <= topology.InterSocket; class++ {
+			for o := 0; o < n; o++ {
+				if o != c && t.ClassOf(topology.CoreID(c), topology.CoreID(o)) == class {
+					order = append(order, topology.CoreID(o))
+				}
+			}
+		}
+		pos := make([]int32, n)
+		pos[c] = -1
+		for i, o := range order {
+			pos[o] = int32(i)
+		}
+		r.from[c] = order
+		r.pos[c] = pos
+	}
+	return r
+}
+
+// Topology returns the topology the ranks were built for.
+func (r *Ranks) Topology() *topology.Topology { return r.topo }
+
+// From returns all cores other than c in increasing distance from c.
+// Callers must not mutate the returned slice.
+func (r *Ranks) From(c topology.CoreID) []topology.CoreID { return r.from[c] }
+
+// Distance returns to's rank in from's distance order (-1 when from == to,
+// i.e. closer than every other core).
+func (r *Ranks) Distance(from, to topology.CoreID) int { return int(r.pos[from][to]) }

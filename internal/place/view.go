@@ -1,0 +1,368 @@
+package place
+
+import (
+	"sort"
+
+	"charm/internal/topology"
+)
+
+// Snapshot carries the engine-state inputs of a View. Nil slices select
+// the healthy/empty default for their signal, so cheap callers (tests,
+// fault-free runtimes) only fill what they have. NewView takes ownership
+// of every non-nil slice: callers must not mutate them afterwards.
+type Snapshot struct {
+	// Live[c] reports core c not offlined by the fault plan (nil = all
+	// live).
+	Live []bool
+	// Occ[c] is the number of workers currently pinned to core c (nil =
+	// all idle).
+	Occ []int32
+	// WorkerOn[c] is the worker ID pinned to core c, or -1 (nil = none).
+	WorkerOn []int32
+	// WorkerCore[w] is worker w's current core.
+	WorkerCore []topology.CoreID
+	// QueueDepth[w] is worker w's pending-task count, inbox plus deque
+	// (nil = all empty).
+	QueueDepth []int64
+	// PlanMilli[ch] is the fault plan's declared slowdown for chiplet ch
+	// in milli-units — worst of thermal throttle and fabric-link brownout
+	// (nil = healthy, 1000).
+	PlanMilli []int64
+	// ObsMilli[ch] is the PMU-observed execution slowdown for chiplet ch
+	// from the last evaluation window, 0 meaning "no signal" (nil = none).
+	ObsMilli []int64
+	// BreakerOpen[ch] marks chiplets whose circuit breaker currently
+	// refuses placements (nil = all admitting).
+	BreakerOpen []bool
+}
+
+// View is an immutable placement snapshot of one machine at one virtual
+// time: the MachineView every placement decision queries. Build one with
+// NewView, query it with Select/Rank and the typed helpers, throw it
+// away. Views never observe later engine mutations, so two identical
+// snapshots always produce identical decisions.
+type View struct {
+	ranks      *Ranks
+	now        int64
+	live       []bool
+	occ        []int32
+	workerOn   []int32
+	workerCore []topology.CoreID
+	depth      []int64
+	// health[ch] is the fused milli-slowdown (1000 = nominal); refused[ch]
+	// is the breaker's hard refusal flag.
+	health  []int64
+	refused []bool
+}
+
+// NewView builds a View of ranks' machine at virtual time now from
+// snapshot s, fusing the per-chiplet health signals.
+func NewView(r *Ranks, now int64, s Snapshot) *View {
+	n := r.topo.NumCores()
+	nch := r.topo.NumChiplets()
+	v := &View{
+		ranks:      r,
+		now:        now,
+		live:       s.Live,
+		occ:        s.Occ,
+		workerOn:   s.WorkerOn,
+		workerCore: s.WorkerCore,
+		depth:      s.QueueDepth,
+		health:     make([]int64, nch),
+		refused:    s.BreakerOpen,
+	}
+	if v.live == nil {
+		v.live = make([]bool, n)
+		for i := range v.live {
+			v.live[i] = true
+		}
+	}
+	if v.occ == nil {
+		v.occ = make([]int32, n)
+	}
+	if v.workerOn == nil {
+		v.workerOn = make([]int32, n)
+		for i := range v.workerOn {
+			v.workerOn[i] = -1
+		}
+	}
+	if v.depth == nil {
+		v.depth = make([]int64, len(v.workerCore))
+	}
+	if v.refused == nil {
+		v.refused = make([]bool, nch)
+	}
+	for ch := 0; ch < nch; ch++ {
+		var pm, om int64
+		if s.PlanMilli != nil {
+			pm = s.PlanMilli[ch]
+		}
+		if s.ObsMilli != nil {
+			om = s.ObsMilli[ch]
+		}
+		v.health[ch] = FuseHealth(pm, om)
+	}
+	return v
+}
+
+// FuseHealth fuses a chiplet's plan-declared and PMU-observed slowdown
+// signals into one milli-factor: the worst signal wins, floored at the
+// nominal 1000 (absent signals are reported as 0 and read as healthy).
+func FuseHealth(planMilli, obsMilli int64) int64 {
+	h := int64(1000)
+	if planMilli > h {
+		h = planMilli
+	}
+	if obsMilli > h {
+		h = obsMilli
+	}
+	return h
+}
+
+// Now returns the virtual time the view was built at.
+func (v *View) Now() int64 { return v.now }
+
+// Topology returns the machine topology.
+func (v *View) Topology() *topology.Topology { return v.ranks.topo }
+
+// Ranks returns the shared distance ranking.
+func (v *View) Ranks() *Ranks { return v.ranks }
+
+// NumWorkers returns the snapshot's worker count.
+func (v *View) NumWorkers() int { return len(v.workerCore) }
+
+// IsLive reports whether core c is not offlined by the fault plan.
+func (v *View) IsLive(c topology.CoreID) bool { return v.live[c] }
+
+// Occupancy returns the number of workers pinned to core c.
+func (v *View) Occupancy(c topology.CoreID) int { return int(v.occ[c]) }
+
+// WorkerOn returns the worker ID pinned to core c, or -1.
+func (v *View) WorkerOn(c topology.CoreID) int { return int(v.workerOn[c]) }
+
+// CoreOf returns worker w's core at snapshot time.
+func (v *View) CoreOf(w int) topology.CoreID { return v.workerCore[w] }
+
+// DepthOf returns worker w's queued-task count at snapshot time.
+func (v *View) DepthOf(w int) int64 { return v.depth[w] }
+
+// HealthMilli returns chiplet ch's fused slowdown factor (1000 = nominal).
+func (v *View) HealthMilli(ch topology.ChipletID) int64 { return v.health[ch] }
+
+// IsRefused reports whether chiplet ch's breaker refuses placements.
+func (v *View) IsRefused(ch topology.ChipletID) bool { return v.refused[ch] }
+
+// Constraint is a composable candidate filter: it reports whether core c
+// is eligible in view v.
+type Constraint func(v *View, c topology.CoreID) bool
+
+// Live admits cores the fault plan has not offlined.
+var Live Constraint = func(v *View, c topology.CoreID) bool { return v.live[c] }
+
+// Idle admits cores with no worker pinned to them.
+var Idle Constraint = func(v *View, c topology.CoreID) bool { return v.occ[c] == 0 }
+
+// BreakerClosed admits cores whose chiplet breaker is not refusing
+// placements.
+var BreakerClosed Constraint = func(v *View, c topology.CoreID) bool {
+	return !v.refused[v.ranks.topo.ChipletOf(c)]
+}
+
+// Scorer orders eligible candidates: lower is better. Scorers must be
+// pure functions of the view and the candidate so selections replay.
+type Scorer func(v *View, c topology.CoreID) int64
+
+// Nearest prefers cores topologically closest to from (from itself scores
+// -1, nearer than everything else).
+func Nearest(from topology.CoreID) Scorer {
+	return func(v *View, c topology.CoreID) int64 {
+		return int64(v.ranks.pos[from][c])
+	}
+}
+
+// LeastLoaded prefers unoccupied cores, then the shallowest queue of the
+// core's resident worker (occupancy dominates: stacking two workers on
+// one core serializes them regardless of queue depths).
+func LeastLoaded() Scorer {
+	return func(v *View, c topology.CoreID) int64 {
+		s := int64(v.occ[c]) << 32
+		if w := v.workerOn[c]; w >= 0 {
+			s += v.depth[w]
+		}
+		return s
+	}
+}
+
+// RoundRobin rotates preference through the cores starting at cursor —
+// the deterministic fairness scorer for otherwise-equal candidates.
+func RoundRobin(cursor int) Scorer {
+	return func(v *View, c topology.CoreID) int64 {
+		n := len(v.live)
+		return int64(((int(c)-cursor)%n + n) % n)
+	}
+}
+
+func (v *View) satisfies(c topology.CoreID, cons []Constraint) bool {
+	for _, f := range cons {
+		if !f(v, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Select returns the best core under the scorer among those satisfying
+// every constraint, or ok=false when no core qualifies. Ties break toward
+// the lower core ID, so identical views always select identically.
+func (v *View) Select(score Scorer, cons ...Constraint) (topology.CoreID, bool) {
+	var best topology.CoreID
+	var bestScore int64
+	found := false
+	for i := range v.live {
+		c := topology.CoreID(i)
+		if !v.satisfies(c, cons) {
+			continue
+		}
+		if s := score(v, c); !found || s < bestScore {
+			best, bestScore, found = c, s, true
+		}
+	}
+	return best, found
+}
+
+// Rank returns every core satisfying the constraints in ascending score
+// order, ties broken by core ID.
+func (v *View) Rank(score Scorer, cons ...Constraint) []topology.CoreID {
+	type scored struct {
+		c topology.CoreID
+		s int64
+	}
+	cand := make([]scored, 0, len(v.live))
+	for i := range v.live {
+		c := topology.CoreID(i)
+		if v.satisfies(c, cons) {
+			cand = append(cand, scored{c, score(v, c)})
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].s != cand[j].s {
+			return cand[i].s < cand[j].s
+		}
+		return cand[i].c < cand[j].c
+	})
+	out := make([]topology.CoreID, len(cand))
+	for i, x := range cand {
+		out[i] = x.c
+	}
+	return out
+}
+
+// VictimsByDistance returns the IDs of all workers other than selfWorker
+// in increasing topological distance of their core from self — the
+// chiplet-first steal-victim order of §4.4. Cores transiently shared by
+// two workers contribute only the currently registered one, matching the
+// engine's worker-on-core map.
+func (v *View) VictimsByDistance(self topology.CoreID, selfWorker int) []int {
+	out := make([]int, 0, len(v.workerCore))
+	for _, c := range v.ranks.from[self] {
+		if w := v.workerOn[c]; w >= 0 && int(w) != selfWorker {
+			out = append(out, int(w))
+		}
+	}
+	return out
+}
+
+// VictimsNodeFirst returns all workers other than selfWorker, those on
+// self's NUMA node first, each group in worker-ID order — NUMA-aware but
+// chiplet-oblivious stealing (RING/SAM).
+func (v *View) VictimsNodeFirst(self topology.CoreID, selfWorker int) []int {
+	topo := v.ranks.topo
+	node := topo.NodeOfCore(self)
+	var same, other []int
+	for w, c := range v.workerCore {
+		if w == selfWorker {
+			continue
+		}
+		if topo.NodeOfCore(c) == node {
+			same = append(same, w)
+		} else {
+			other = append(other, w)
+		}
+	}
+	return append(same, other...)
+}
+
+// LiveWorkersOn returns the IDs of workers currently on live cores of
+// chiplet ch, in worker-ID order — the dispatch group co-located stage
+// placement spreads a stage across.
+func (v *View) LiveWorkersOn(ch topology.ChipletID) []int {
+	var out []int
+	for w, c := range v.workerCore {
+		if v.ranks.topo.ChipletOf(c) == ch && v.live[c] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ChipletDepth returns the summed queue depth of the workers on live
+// cores of chiplet ch.
+func (v *View) ChipletDepth(ch topology.ChipletID) int64 {
+	var d int64
+	for w, c := range v.workerCore {
+		if v.ranks.topo.ChipletOf(c) == ch && v.live[c] {
+			d += v.depth[w]
+		}
+	}
+	return d
+}
+
+// ChipletsByPreference orders every chiplet hosting at least one worker
+// on a live core for dispatch: breaker-admitting chiplets before refused
+// ones (refused chiplets stay listed last so half-open probes can still
+// reach them), then healthier fused milli, then lower aggregate queue
+// depth. Remaining ties rotate deterministically with cursor so
+// equally-good chiplets share work round-robin.
+func (v *View) ChipletsByPreference(cursor int) []topology.ChipletID {
+	topo := v.ranks.topo
+	nch := topo.NumChiplets()
+	type cand struct {
+		ch    topology.ChipletID
+		depth int64
+		rot   int
+	}
+	cands := make([]cand, 0, nch)
+	for ch := 0; ch < nch; ch++ {
+		id := topology.ChipletID(ch)
+		hasLive := false
+		var depth int64
+		for w, c := range v.workerCore {
+			if topo.ChipletOf(c) == id && v.live[c] {
+				hasLive = true
+				depth += v.depth[w]
+			}
+		}
+		if !hasLive {
+			continue
+		}
+		cands = append(cands, cand{id, depth, ((ch-cursor)%nch + nch) % nch})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if v.refused[a.ch] != v.refused[b.ch] {
+			return !v.refused[a.ch]
+		}
+		if v.health[a.ch] != v.health[b.ch] {
+			return v.health[a.ch] < v.health[b.ch]
+		}
+		if a.depth != b.depth {
+			return a.depth < b.depth
+		}
+		return a.rot < b.rot
+	})
+	out := make([]topology.ChipletID, len(cands))
+	for i, c := range cands {
+		out[i] = c.ch
+	}
+	return out
+}
