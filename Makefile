@@ -62,6 +62,9 @@ bench:
 	$(GO) test ./internal/place/ -run xxx -bench BenchmarkPlacement -benchtime 1s -benchmem \
 		| $(GO) run ./cmd/benchjson -o BENCH_placement.json \
 		-note "internal/place decision plane on AMDMilan7713x2: rank build (one-time), per-decision view build and Select/ordering queries"
+	$(GO) test ./internal/core/ -run xxx -bench BenchmarkTracing -benchtime 1s -benchmem \
+		| $(GO) run ./cmd/benchjson -o BENCH_obs.json \
+		-note "causal job tracing on the admission/dispatch path: off = disabled atomic gate, on = admit/stage/task span recording per job, emit = raw sharded span append"
 
 # Observability smoke runs: a Chrome trace and a Prometheus metrics dump
 # from the quickstart workload.

@@ -102,7 +102,36 @@ type (
 	BreakerConfig = admit.BreakerConfig
 	// JobPlacement selects dispatch placement for JobServiceOptions.
 	JobPlacement = core.JobPlacement
+	// TraceID identifies one causal job trace (the job's admission ID).
+	TraceID = obs.TraceID
+	// Span is one typed, virtual-time span event in a job trace.
+	Span = obs.Span
+	// SpanKind discriminates span event types (admit-queue, stage, task,
+	// retry, rehome, shed, breaker, ...).
+	SpanKind = obs.SpanKind
+	// Trace is one job's merged, canonically ordered span list.
+	Trace = obs.Trace
+	// Tracer is the sharded span buffer behind Runtime.EnableTracing.
+	Tracer = obs.Tracer
+	// Breakdown is a per-job critical-path latency attribution.
+	Breakdown = obs.Breakdown
+	// CritPathReport aggregates breakdowns into top-culprit tables.
+	CritPathReport = obs.Report
+	// BurnConfig tunes the SLO burn-rate windows and thresholds.
+	BurnConfig = obs.BurnConfig
+	// SLOAlert is one burn-rate alert edge (fired or cleared).
+	SLOAlert = obs.SLOAlert
+	// SLOStatus is a point-in-time per-class error-budget reading.
+	SLOStatus = obs.SLOStatus
 )
+
+// AnalyzeTrace attributes one completed job trace's latency to queue,
+// compute, stall, and retry time (false when the job never dispatched).
+var AnalyzeTrace = obs.Analyze
+
+// BuildCritPathReport runs critical-path attribution over every trace in
+// a tracer and aggregates the per-chiplet/stage/fault culprit tables.
+var BuildCritPathReport = obs.BuildReport
 
 // Dispatch placement strategies for JobServiceOptions.Placement.
 const (
@@ -513,6 +542,26 @@ func (r *Runtime) OwnerOf(addr Addr) int { return r.rt.OwnerOf(addr) }
 
 // EnableProfiler turns the time-series profiler on or off.
 func (r *Runtime) EnableProfiler(on bool) { r.rt.Profiler().Enable(on) }
+
+// EnableTracing turns causal job tracing on or off. While enabled, every
+// job admitted through the service emits typed spans (admit-queue wait,
+// per-stage execution, per-task exec/stall, retries, re-homes, terminal
+// events) into a per-worker sharded buffer in virtual time; breaker
+// transitions and SLO alert edges land as runtime-scoped spans. Off costs
+// one atomic load per would-be emission.
+func (r *Runtime) EnableTracing(on bool) { r.rt.EnableTracing(on) }
+
+// Tracer exposes the runtime's span tracer for trace export
+// (Tracer.WriteJSON), per-job lookup (Tracer.TraceOf), and critical-path
+// attribution (BuildCritPathReport).
+func (r *Runtime) Tracer() *Tracer { return r.rt.Tracer() }
+
+// WriteTraceJSON writes every recorded span — canonically ordered, so
+// Deterministic-mode runs with identical seeds produce byte-identical
+// documents — plus the flight recorder's retained trace IDs as JSON.
+func (r *Runtime) WriteTraceJSON(w io.Writer) error {
+	return r.rt.Tracer().WriteJSON(w)
+}
 
 // EnableMetrics turns the virtual-time metrics registry on or off. The
 // registry covers every layer: task lifecycle counters and latency

@@ -20,6 +20,23 @@
 //	    Per-chiplet summary table: L3 hit/evict rates, fill mix, and the
 //	    fabric/memory utilization peaks — a post-mortem `top` for the run.
 //
+//	charm-obs slo      [-load F] [-thermal]
+//	    Runs the deterministic overload scenario (open-loop Poisson job
+//	    arrivals under deadline-aware shedding) with per-priority-class
+//	    SLOs and prints the error-budget status and the multi-window
+//	    burn-rate alert log.
+//
+//	charm-obs critpath [-load F] [-thermal] [-top N]
+//	    Runs the same scenario with causal job tracing on and prints the
+//	    critical-path attribution report: per-job latency breakdowns
+//	    (queue vs compute vs stall vs retry) and the aggregate top-culprit
+//	    tables per chiplet, stage, and fault kind.
+//
+//	charm-obs job <trace-id> [-load F] [-thermal]
+//	    Replays the scenario and prints one job's full span trace and its
+//	    critical-path breakdown. Trace IDs come from the critpath report
+//	    or the flight recorder's retained list.
+//
 // Workloads: quickstart (default; the examples/quickstart kernel), phases
 // (growing/shrinking working set), bfs (Kronecker graph BFS).
 package main
@@ -35,6 +52,7 @@ import (
 
 	"charm"
 	"charm/internal/obs"
+	"charm/internal/topology"
 	"charm/internal/workloads/graph"
 )
 
@@ -50,6 +68,12 @@ func main() {
 		cmdMetrics(os.Args[2:])
 	case "top":
 		cmdTop(os.Args[2:])
+	case "slo":
+		cmdSLO(os.Args[2:])
+	case "critpath":
+		cmdCritpath(os.Args[2:])
+	case "job":
+		cmdJob(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -60,13 +84,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: charm-obs <trace|metrics|top> [flags]
+	fmt.Fprint(os.Stderr, `usage: charm-obs <trace|metrics|top|slo|critpath|job> [flags]
 
-  trace    write a Chrome trace-event JSON file (task spans + counter tracks)
-  metrics  write the final metrics snapshot (Prometheus text and/or JSON)
-  top      print a per-chiplet summary table
+  trace     write a Chrome trace-event JSON file (task spans + counter tracks)
+  metrics   write the final metrics snapshot (Prometheus text and/or JSON)
+  top       print a per-chiplet summary table
+  slo       run the overload scenario; print SLO budgets and burn-rate alerts
+  critpath  run the overload scenario; print critical-path attribution
+  job <id>  run the overload scenario; print one job's trace and breakdown
 
-Common flags: -workers N, -workload quickstart|phases|bfs
+Common flags: -workers N, -workload quickstart|phases|bfs (trace/metrics/top);
+-load F, -thermal (slo/critpath/job).
 Run 'charm-obs <subcommand> -h' for subcommand flags.
 `)
 }
@@ -270,6 +298,170 @@ func cmdTop(args []string) {
 			fmt.Printf("\ntasks: %d, mean latency %.0f ns\n",
 				s.Hist.Count, float64(s.Hist.Sum)/float64(s.Hist.Count))
 		}
+	}
+}
+
+// Overload-scenario constants, mirroring the harness overload experiment
+// (PR 4): 400 Poisson jobs of 4 compute tasks each on a 4-chiplet machine,
+// deterministic mode so every run — and every trace — replays exactly.
+const (
+	ovWorkers  = 8
+	ovJobs     = 400
+	ovTasks    = 4
+	ovTaskCost = 10_000
+	ovWork     = ovTasks * ovTaskCost
+	ovGap1x    = ovWork / ovWorkers
+	ovDeadline = 200_000
+	ovSeed     = 7
+	ovQueueCap = 64
+)
+
+// ovFlags registers the flags the job-service subcommands share.
+func ovFlags(fs *flag.FlagSet) (load *float64, thermal *bool) {
+	load = fs.Float64("load", 2, "arrival rate as a multiple of machine capacity")
+	thermal = fs.Bool("thermal", false, "thermally throttle chiplet 1 by 3x mid-run")
+	return
+}
+
+// runOverload serves the deterministic overload scenario with tracing and
+// per-priority SLOs enabled, drains it, and returns the still-live runtime
+// and its job service (caller finalizes).
+func runOverload(load float64, thermal bool) (*charm.Runtime, *charm.JobService) {
+	var faults *charm.FaultSchedule
+	if thermal {
+		faults = charm.NewFaultSchedule("overload-thermal", ovSeed).
+			ThermalThrottle(1, 100_000, 1_500_000, 3.0)
+	}
+	rt, err := charm.Init(charm.Config{
+		Topology:      topology.Synthetic(4, 2),
+		Workers:       ovWorkers,
+		Deterministic: true,
+		Faults:        faults,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rt.EnableMetrics(true)
+	rt.EnableTracing(true)
+	svc, err := rt.ServeJobs(charm.JobServiceOptions{
+		Policy:        charm.AdmitShed,
+		QueueCapacity: ovQueueCap,
+		Breakers:      true,
+		EvalInterval:  50_000,
+		// Higher priority dispatches first, so it carries the tighter
+		// target; under overload the low classes burn their budgets first.
+		SLO: map[int]float64{0: 0.95, 1: 0.99, 2: 0.999},
+		Source: &charm.SpecSource{
+			Arrivals: charm.NewPoissonArrivals(ovSeed, int64(float64(ovGap1x)/load), ovJobs),
+			Gen: func(i int) charm.JobSpec {
+				stage := make(charm.JobStage, ovTasks)
+				for k := range stage {
+					stage[k] = func(ctx *charm.Ctx) { ctx.Compute(ovTaskCost) }
+				}
+				return charm.JobSpec{
+					Name:     fmt.Sprintf("job-%d", i),
+					Priority: i % 3,
+					Deadline: ovDeadline,
+					Cost:     ovWork,
+					Stages:   []charm.JobStage{stage},
+				}
+			},
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	svc.Drain()
+	return rt, svc
+}
+
+func cmdSLO(args []string) {
+	fs := flag.NewFlagSet("charm-obs slo", flag.ExitOnError)
+	load, thermal := ovFlags(fs)
+	fs.Parse(args)
+
+	rt, svc := runOverload(*load, *thermal)
+	defer rt.Finalize()
+	now := rt.Engine().MaxWorkerClock()
+	st := svc.SLOStatus(now)
+	stats := svc.Stats()
+
+	fmt.Printf("overload scenario: load %gx, thermal=%v, %d jobs "+
+		"(completed %d, met %d, shed %d, expired %d), virtual time %.3f ms\n\n",
+		*load, *thermal, stats.Submitted, stats.Completed, stats.Met,
+		stats.Shed, stats.Expired, float64(now)/1e6)
+	fmt.Println("class  target   achieved  good   bad   fast-burn  slow-burn  firing  alerts")
+	for _, s := range st {
+		fmt.Printf("%5d  %6.3f%%  %7.3f%%  %4d  %4d  %9.2f  %9.2f  %6v  %6d\n",
+			s.Class, 100*s.Target, 100*s.Achieved, s.Good, s.Bad,
+			s.FastBurn, s.SlowBurn, s.Firing, s.Alerts)
+	}
+	alerts := svc.SLOAlerts()
+	if len(alerts) > 0 {
+		fmt.Println("\nalert log (virtual time order):")
+		for _, a := range alerts {
+			verb := "cleared"
+			if a.Firing {
+				verb = "FIRED"
+			}
+			fmt.Printf("  t=%-10d class %d %-7s (fast %.2f, slow %.2f)\n",
+				a.T, a.Class, verb, a.FastBurn, a.SlowBurn)
+		}
+	}
+}
+
+func cmdCritpath(args []string) {
+	fs := flag.NewFlagSet("charm-obs critpath", flag.ExitOnError)
+	load, thermal := ovFlags(fs)
+	top := fs.Int("top", 10, "slowest jobs to list")
+	fs.Parse(args)
+
+	rt, _ := runOverload(*load, *thermal)
+	defer rt.Finalize()
+
+	fmt.Printf("overload scenario: load %gx, thermal=%v\n\n", *load, *thermal)
+	rep := charm.BuildCritPathReport(rt.Tracer())
+	rep.WriteText(os.Stdout, *top)
+	if ids := rt.Tracer().RetainedIDs(); len(ids) > 0 {
+		fmt.Printf("\nflight recorder retained %d SLO-violating traces; "+
+			"inspect one with: charm-obs job <id>\n", len(ids))
+	}
+}
+
+func cmdJob(args []string) {
+	fs := flag.NewFlagSet("charm-obs job", flag.ExitOnError)
+	load, thermal := ovFlags(fs)
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		fmt.Fprintln(os.Stderr, "usage: charm-obs job <trace-id> [-load F] [-thermal]")
+		os.Exit(2)
+	}
+	id, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		fatal(fmt.Errorf("charm-obs: bad trace ID %q: %w", args[0], err))
+	}
+	fs.Parse(args[1:])
+
+	rt, _ := runOverload(*load, *thermal)
+	defer rt.Finalize()
+	tr := rt.Tracer().TraceOf(charm.TraceID(id))
+	if len(tr.Spans) == 0 {
+		fmt.Fprintf(os.Stderr, "charm-obs: no spans for trace %d; "+
+			"run 'charm-obs critpath' to list live trace IDs\n", id)
+		os.Exit(1)
+	}
+
+	fmt.Printf("trace %d (%d spans):\n", id, len(tr.Spans))
+	fmt.Println("  kind         start        end          stage  worker  chiplet  arg      arg2")
+	for _, s := range tr.Spans {
+		fmt.Printf("  %-11s  %-11d  %-11d  %5d  %6d  %7d  %-7d  %d\n",
+			s.Kind, s.Start, s.End, s.Stage, s.Worker, s.Chiplet, s.Arg, s.Arg2)
+	}
+	if b, ok := charm.AnalyzeTrace(tr); ok {
+		fmt.Println()
+		b.WriteJobText(os.Stdout)
+	} else {
+		fmt.Println("\nno critical path: the job never dispatched a stage " +
+			"(shed, rejected, or expired in the admission queue)")
 	}
 }
 

@@ -151,6 +151,12 @@ func (b *Breaker) Eval(now, planMilli, obsMilli int64) {
 type Set struct {
 	cfg BreakerConfig
 	bs  []Breaker
+
+	// OnTransition, when set, is invoked from EvalPlan for every breaker
+	// state change (chiplet, virtual time, old and new state) — the hook
+	// the observability plane uses to put breaker flaps on the trace
+	// timeline. Called under the owner's lock, in virtual-time order.
+	OnTransition func(ch int, now int64, from, to BreakerState)
 }
 
 // NewSet builds a bank of n breakers (one per chiplet).
@@ -220,6 +226,10 @@ func (s *Set) EvalPlan(now int64, plan *fault.Plan, obsMilli func(ch int) int64)
 		if obsMilli != nil {
 			om = obsMilli(i)
 		}
+		before := s.bs[i].state
 		s.bs[i].Eval(now, pm, om)
+		if after := s.bs[i].state; after != before && s.OnTransition != nil {
+			s.OnTransition(i, now, before, after)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"charm/internal/mem"
+	"charm/internal/obs"
 	"charm/internal/sim"
 	"charm/internal/topology"
 )
@@ -47,6 +48,37 @@ func BenchmarkTaskSpawnExecuteMetrics(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, false, false) })
 	b.Run("on", func(b *testing.B) { run(b, true, false) })
 	b.Run("on+spans", func(b *testing.B) { run(b, true, true) })
+}
+
+// BenchmarkTracing measures causal-job-tracing overhead on the job
+// admission/dispatch path: "off" is the cost of the disabled tracer (one
+// atomic load per would-be span), "on" records admit-queue, stage, and
+// per-task spans for every job. "emit" isolates the raw span-append cost.
+func BenchmarkTracing(b *testing.B) {
+	run := func(b *testing.B, on bool) {
+		rt := benchRT(b, 8)
+		rt.EnableTracing(on)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j, err := rt.SubmitJob(computeJob(4, 1_000, nil))
+			if err != nil {
+				b.Fatal(err)
+			}
+			<-j.Done()
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+	b.Run("emit", func(b *testing.B) {
+		tr := obs.NewTracer(1, 1<<30)
+		tr.SetEnabled(true)
+		s := obs.Span{Trace: 1, Kind: obs.SpanTask, Start: 1, End: 2}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Start = int64(i)
+			tr.Emit(0, s)
+		}
+	})
 }
 
 func BenchmarkCoroutineSwitch(b *testing.B) {

@@ -62,14 +62,23 @@ func (c *Ctx) advance(cost int64) {
 	c.w.clock.Advance(cost)
 }
 
+// stall charges an access cost and accumulates it into the task's stall
+// aggregate, the memory/fabric half of its trace span's execution window.
+func (c *Ctx) stall(cost int64) {
+	if c.task != nil {
+		c.task.stallNS += cost
+	}
+	c.advance(cost)
+}
+
 // Read simulates reading [addr, addr+size).
 func (c *Ctx) Read(addr mem.Addr, size int64) {
-	c.advance(c.w.rt.M.Access(c.w.Core(), c.w.clock.Now(), addr, size, false))
+	c.stall(c.w.rt.M.Access(c.w.Core(), c.w.clock.Now(), addr, size, false))
 }
 
 // Write simulates writing [addr, addr+size).
 func (c *Ctx) Write(addr mem.Addr, size int64) {
-	c.advance(c.w.rt.M.Access(c.w.Core(), c.w.clock.Now(), addr, size, true))
+	c.stall(c.w.rt.M.Access(c.w.Core(), c.w.clock.Now(), addr, size, true))
 }
 
 // RMW simulates an atomic read-modify-write on [addr, addr+size): a read, a
@@ -80,7 +89,7 @@ func (c *Ctx) RMW(addr mem.Addr, size int64) {
 	cost := c.w.rt.M.Access(core, now, addr, size, false)
 	cost += c.w.rt.M.Access(core, now+cost, addr, size, true)
 	cost += c.w.rt.M.Topo.Cost.CASIntraChiplet
-	c.advance(cost)
+	c.stall(cost)
 }
 
 // Compute charges ns nanoseconds of pure CPU work.
@@ -124,6 +133,7 @@ func (c *Ctx) Yield() {
 func (c *Ctx) Spawn(fn func(*Ctx)) {
 	t := c.w.rt.newTask(fn, c.task.grp, c.w.clock.Now(), false, c.w.id)
 	t.job = c.task.job
+	t.stage = c.task.stage
 	c.task.grp.add(1)
 	c.w.rt.met.spawns.Inc(c.w.id)
 	c.w.deque.Push(t)
@@ -133,6 +143,7 @@ func (c *Ctx) Spawn(fn func(*Ctx)) {
 func (c *Ctx) SpawnCo(fn func(*Ctx)) {
 	t := c.w.rt.newTask(fn, c.task.grp, c.w.clock.Now(), true, c.w.id)
 	t.job = c.task.job
+	t.stage = c.task.stage
 	c.task.grp.add(1)
 	c.w.rt.met.spawns.Inc(c.w.id)
 	c.w.deque.Push(t)
@@ -155,6 +166,7 @@ func (c *Ctx) CallAsync(target int, fn func(*Ctx)) {
 	t := rt.newTask(fn, c.task.grp, c.w.clock.Now()+delay, false, target)
 	t.pinned = true
 	t.job = c.task.job
+	t.stage = c.task.stage
 	t.delegated = true
 	t.hops = c.task.hops + 1
 	rt.met.delegations.Inc(c.w.id)
@@ -192,6 +204,7 @@ func (c *Ctx) Call(target int, fn func(*Ctx)) {
 	// Propagate the job so a cancelled job's RPC body is discarded (its
 	// onDone still fires, releasing the caller's poll loop below).
 	t.job = c.task.job
+	t.stage = c.task.stage
 	t.delegated = true
 	t.hops = c.task.hops + 1
 	rt.met.delegations.Inc(c.w.id)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime/debug"
 
+	"charm/internal/obs"
 	"charm/internal/topology"
 )
 
@@ -98,6 +99,13 @@ func (w *Worker) checkFault() bool {
 		if dst, ok := r.Rehome(w, now); ok && !plan.CoreDown(dst, now) {
 			w.rt.met.faultMigrations.Inc(w.id)
 			w.rt.prof.Record(ProfFault, w.id, now, fcRehome)
+			if tr := w.rt.tracer; tr.Enabled() {
+				// Runtime-scoped instant (trace 0): the worker moved, which
+				// affects every job placed on it.
+				tr.Emit(w.id, obs.Span{Kind: obs.SpanRehome, Start: now, End: now,
+					Worker: int32(w.id), Chiplet: int32(w.rt.M.Topo.ChipletOf(c)),
+					Arg: int64(dst)})
+			}
 			w.Migrate(dst)
 			// Restart the Alg. 1 interval on the new core's counters: the
 			// old core's fill history is meaningless there.
@@ -172,6 +180,10 @@ func (w *Worker) park(c topology.CoreID) {
 	upAt := plan.CoreUpAt(c, w.clock.Now())
 	w.rt.met.faultParks.Inc(w.id)
 	w.rt.prof.Record(ProfFault, w.id, w.clock.Now(), fcPark)
+	if tr := w.rt.tracer; tr.Enabled() {
+		tr.Emit(w.id, obs.Span{Kind: obs.SpanPark, Start: w.clock.Now(), End: w.clock.Now(),
+			Worker: int32(w.id), Chiplet: int32(w.rt.M.Topo.ChipletOf(c))})
+	}
 	w.blocked.Store(true)
 	defer w.blocked.Store(false)
 	if ls := w.rt.ls; ls != nil {
@@ -246,11 +258,19 @@ func (w *Worker) retryTask(t *Task, err *TaskError) bool {
 	}
 	t.attempts++
 	backoff := w.rt.opts.RetryBackoff << (t.attempts - 1)
-	t.stamp = w.clock.Now() + backoff
+	now := w.clock.Now()
+	t.stamp = now + backoff
 	t.co = nil // a coroutine retry starts from a fresh stack
 	t.err = nil
 	w.rt.met.faultRetries.Inc(w.id)
-	w.rt.prof.Record(ProfFault, w.id, w.clock.Now(), fcRetry)
+	w.rt.prof.Record(ProfFault, w.id, now, fcRetry)
+	if tr := w.rt.tracer; tr.Enabled() && t.job != nil {
+		// The span covers the backoff window: failure → earliest restart.
+		tr.Emit(w.id, obs.Span{Trace: obs.TraceID(t.job.id), Kind: obs.SpanRetry,
+			Start: now, End: t.stamp, Worker: int32(w.id),
+			Chiplet: int32(w.rt.M.Topo.ChipletOf(w.Core())), Stage: t.stage,
+			Arg: int64(t.attempts)})
+	}
 	w.deque.Push(t)
 	return true
 }

@@ -124,6 +124,13 @@ type Job struct {
 	finished atomic.Int64 // completion time (any terminal state)
 	stage    int          // next stage to dispatch; guarded by svc.mu
 
+	// Trace bookkeeping for the currently running stage (guarded by
+	// svc.mu): dispatch time, index, and task count — the SpanStage
+	// emitted when the stage's barrier releases.
+	stageStart int64
+	curStage   int32
+	stageTasks int64
+
 	err  atomic.Pointer[TaskError]
 	done chan struct{}
 }
@@ -255,6 +262,13 @@ type JobServiceOptions struct {
 	// Placement selects the dispatch placement strategy (default
 	// PlaceLoadAware).
 	Placement JobPlacement
+	// SLO declares per-priority-class availability objectives: class →
+	// target fraction of jobs completing within their deadline (e.g.
+	// 0.95). Non-empty enables the burn-rate tracker; alert edges surface
+	// in metrics, the Chrome trace, and the span stream.
+	SLO map[int]float64
+	// SLOBurn tunes the burn-rate windows (zero fields select defaults).
+	SLOBurn obs.BurnConfig
 }
 
 // JobStats summarizes a service's admission ledger.
@@ -314,8 +328,15 @@ type JobService struct {
 	maxDepth  []int64 // per-chiplet queue-depth high-water mark
 	jobs      []*Job
 	latByPrio map[int]*obs.Histogram
-	tasksCanc atomic.Int64   // cancelled-task count (updated off-lock)
-	chExecSum []atomic.Int64 // per-chiplet job-task exec time
+	qwByPrio  map[int]*obs.Histogram // charm_admit_queue_wait_ns{priority}
+	// SLO burn-rate state (nil without declared objectives). Driven
+	// entirely under mu in virtual-time order.
+	slo       *obs.SLOTracker
+	sloCnt    map[int]*obs.Counter // charm_slo_alerts_total{class}
+	sloBurn   map[int]*obs.Gauge   // charm_slo_fast_burn_milli{class}
+	trShard   int                  // tracer shard for mu-serialized emissions
+	tasksCanc atomic.Int64         // cancelled-task count (updated off-lock)
+	chExecSum []atomic.Int64       // per-chiplet job-task exec time
 	chExecCnt []atomic.Int64
 	lastChSum []int64 // previous eval snapshots (window deltas)
 	lastChCnt []int64
@@ -356,13 +377,32 @@ func (rt *Runtime) ServeJobs(opts JobServiceOptions) (*JobService, error) {
 		drained:   make(chan struct{}),
 		maxDepth:  make([]int64, nch),
 		latByPrio: map[int]*obs.Histogram{},
+		qwByPrio:  map[int]*obs.Histogram{},
 		chExecSum: make([]atomic.Int64, nch),
 		chExecCnt: make([]atomic.Int64, nch),
 		lastChSum: make([]int64, nch),
 		lastChCnt: make([]int64, nch),
+		trShard:   rt.trShard(),
 	}
 	if opts.Breakers {
 		s.brk = admit.NewSet(nch, opts.Breaker)
+		// Breaker flaps go on the trace timeline: a typed instant span per
+		// transition, emitted under svc.mu (EvalPlan's caller).
+		s.brk.OnTransition = func(ch int, now int64, from, to admit.BreakerState) {
+			if tr := rt.tracer; tr.Enabled() {
+				tr.Emit(s.trShard, obs.Span{Kind: obs.SpanBreaker,
+					Start: now, End: now, Chiplet: int32(ch),
+					Arg: int64(to), Arg2: int64(from)})
+			}
+		}
+	}
+	if len(opts.SLO) > 0 {
+		s.slo = obs.NewSLOTracker(opts.SLOBurn)
+		for class, target := range opts.SLO {
+			s.slo.SetObjective(class, target)
+		}
+		s.sloCnt = map[int]*obs.Counter{}
+		s.sloBurn = map[int]*obs.Gauge{}
 	}
 	if opts.Source != nil {
 		s.advanceSource()
@@ -466,6 +506,27 @@ func (s *JobService) BreakerState(ch int) admit.BreakerState {
 	return s.brk.State(ch)
 }
 
+// SLOStatus summarizes every declared SLO class at virtual time now
+// (nil without declared objectives).
+func (s *JobService) SLOStatus(now int64) []obs.SLOStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.slo == nil {
+		return nil
+	}
+	return s.slo.Status(now)
+}
+
+// SLOAlerts returns the burn-rate alert-edge log in virtual-time order.
+func (s *JobService) SLOAlerts() []obs.SLOAlert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.slo == nil {
+		return nil
+	}
+	return append([]obs.SLOAlert(nil), s.slo.Alerts()...)
+}
+
 // MaxChipletDepth returns the high-water mark of chiplet ch's task-queue
 // depth (inbox + deque sums of its workers, sampled at each evaluation).
 func (s *JobService) MaxChipletDepth(ch int) int64 {
@@ -563,7 +624,10 @@ func (s *JobService) offerLocked(j *Job) error {
 }
 
 // finalizeLocked moves j to a terminal state at virtual time now.
-// Caller holds mu and has already updated the relevant counters.
+// Caller holds mu and has already updated the relevant counters. This is
+// the one funnel every job exits through, so the observability plane
+// hangs off it: the terminal span, the SLO outcome, and the flight-
+// recorder retention decision.
 func (s *JobService) finalizeLocked(j *Job, st JobState, now int64) {
 	if JobState(j.state.Load()).terminal() {
 		return
@@ -571,6 +635,45 @@ func (s *JobService) finalizeLocked(j *Job, st JobState, now int64) {
 	j.finished.Store(now)
 	j.state.Store(int32(st))
 	close(j.done)
+
+	met := st == JobCompleted && (j.deadline == 0 || now <= j.deadline)
+	if tr := s.rt.tracer; tr.Enabled() {
+		var kind obs.SpanKind
+		emit := true
+		switch st {
+		case JobShed:
+			kind = obs.SpanShed
+		case JobRejected:
+			kind = obs.SpanReject
+		case JobExpired:
+			kind = obs.SpanExpire
+		case JobCancelled:
+			kind = obs.SpanCancel
+		case JobFailed:
+			kind = obs.SpanFail
+		default:
+			emit = false // completion is covered by the stage spans
+		}
+		if emit {
+			tr.Emit(s.trShard, obs.Span{Trace: obs.TraceID(j.id), Kind: kind,
+				Start: j.arrival, End: now, Stage: -1,
+				Arg: int64(j.spec.Priority)})
+		}
+		// Tail-based retention: violators (missed deadline or abnormal
+		// termination) keep their full trace; healthy completions release
+		// theirs for compaction.
+		if met {
+			tr.Release(obs.TraceID(j.id))
+		} else if st != JobCancelled {
+			tr.Retain(obs.TraceID(j.id))
+		}
+	}
+	// SLO accounting: a completed job within deadline is good; sheds,
+	// rejections, expiries, and failures burn budget. Cancellation is the
+	// caller's choice, not a service failure — skip it.
+	if s.slo != nil && st != JobCancelled {
+		s.slo.Record(j.spec.Priority, met, now)
+	}
 }
 
 // updateNextWorkLocked recomputes the pump wake-up time. Caller holds mu.
@@ -647,6 +750,7 @@ func (s *JobService) pump(w *Worker, now int64) bool {
 	// plus breaker state from fault-plan and observed slowdown.
 	if now-s.lastEval >= s.opts.EvalInterval {
 		s.evalLocked(now)
+		s.evalSLOLocked(now)
 		did = true
 	}
 
@@ -758,11 +862,70 @@ func (s *JobService) evalLocked(now int64) {
 	s.rt.met.breakersOpen.Set(0, int64(s.brk.Open()))
 }
 
+// evalSLOLocked runs the burn-rate evaluation and surfaces alert edges:
+// typed spans, per-class alert counters, and traced burn gauges. It also
+// compacts the span buffer once it passes the high-water mark (released,
+// healthy traces are dropped; retained violators survive) — the decision
+// keys off virtual-time state only, so replays compact identically.
+func (s *JobService) evalSLOLocked(now int64) {
+	tr := s.rt.tracer
+	if s.slo != nil {
+		for _, e := range s.slo.Evaluate(now) {
+			if e.Firing {
+				c, ok := s.sloCnt[e.Class]
+				if !ok {
+					c = s.rt.met.reg.Counter("charm_slo_alerts_total",
+						"SLO burn-rate alerts fired.",
+						obs.Labels{"class": strconv.Itoa(clampPrio(e.Class))})
+					s.sloCnt[e.Class] = c
+				}
+				c.Add(0, 1)
+			}
+			if tr.Enabled() {
+				fired := int64(0)
+				if e.Firing {
+					fired = 1
+				}
+				tr.Emit(s.trShard, obs.Span{Kind: obs.SpanSLOAlert,
+					Start: now, End: now, Stage: -1,
+					Arg: int64(e.Class), Arg2: fired})
+			}
+		}
+		for _, st := range s.slo.Status(now) {
+			g, ok := s.sloBurn[st.Class]
+			if !ok {
+				g = s.rt.met.reg.Gauge("charm_slo_fast_burn_milli",
+					"Fast-window SLO burn rate in milli-units (1000 = budget-rate burn).",
+					obs.Labels{"class": strconv.Itoa(clampPrio(st.Class))},
+					obs.Traced())
+				s.sloBurn[st.Class] = g
+			}
+			g.Set(0, int64(1000*st.FastBurn))
+		}
+	}
+	if tr.Enabled() && tr.SpanCount() >= (s.trShard+1)*obs.DefaultSpanCap/2 {
+		tr.Compact()
+	}
+}
+
 // startLocked dispatches job j's first runnable stage at time now.
 func (s *JobService) startLocked(j *Job, now int64) {
 	j.started = now
 	j.state.Store(int32(JobRunning))
 	s.inflight++
+	prio := clampPrio(j.spec.Priority)
+	h, ok := s.qwByPrio[prio]
+	if !ok {
+		h = s.rt.met.reg.Histogram("charm_admit_queue_wait_ns",
+			"Virtual ns from job arrival to dispatch (admission-queue wait).",
+			obs.Labels{"priority": strconv.Itoa(prio)}, latencyBounds)
+		s.qwByPrio[prio] = h
+	}
+	h.Observe(0, now-j.arrival)
+	if tr := s.rt.tracer; tr.Enabled() {
+		tr.Emit(s.trShard, obs.Span{Trace: obs.TraceID(j.id), Kind: obs.SpanAdmitQueue,
+			Start: j.arrival, End: now, Stage: -1, Arg: int64(j.spec.Priority)})
+	}
 	s.dispatchStageLocked(j, now)
 }
 
@@ -777,6 +940,9 @@ func (s *JobService) dispatchStageLocked(j *Job, now int64) {
 		return
 	}
 	stage := j.spec.Stages[j.stage]
+	j.curStage = int32(j.stage)
+	j.stageStart = now
+	j.stageTasks = int64(len(stage))
 	j.stage++
 	g := newGroup()
 	g.job = j
@@ -786,6 +952,7 @@ func (s *JobService) dispatchStageLocked(j *Job, now int64) {
 		wid := wids[i]
 		t := s.rt.newTask(fn, g, now, j.spec.Coro, wid)
 		t.job = j
+		t.stage = j.curStage
 		s.rt.workers[wid].inbox.Put(t)
 	}
 }
@@ -891,29 +1058,37 @@ func (s *JobService) completeLocked(j *Job, now int64) {
 	if j.MetDeadline() {
 		s.stats.Met++
 	}
-	s.observeLatencyLocked(j.spec.Priority, now-j.arrival)
+	s.observeLatencyLocked(j, now-j.arrival)
 	s.updateNextWorkLocked()
 	s.checkDrainedLocked()
 }
 
-// observeLatencyLocked records a completed job's arrival→finish latency
-// in the per-priority histogram (priority label clamped to [0, 7]).
-func (s *JobService) observeLatencyLocked(prio int, lat int64) {
-	p := prio
+// clampPrio clamps a priority to the [0, 7] label range.
+func clampPrio(p int) int {
 	if p < 0 {
-		p = 0
+		return 0
 	}
 	if p > 7 {
-		p = 7
+		return 7
 	}
+	return p
+}
+
+// observeLatencyLocked records a completed job's arrival→finish latency
+// in the per-priority histogram (priority label clamped to [0, 7]). The
+// histogram carries exemplar slots, so tail buckets link back to the
+// TraceID of a job that landed there.
+func (s *JobService) observeLatencyLocked(j *Job, lat int64) {
+	p := clampPrio(j.spec.Priority)
 	h, ok := s.latByPrio[p]
 	if !ok {
 		h = s.rt.met.reg.Histogram("charm_job_latency_ns",
 			"Virtual ns from job arrival to completion.",
-			obs.Labels{"priority": strconv.Itoa(p)}, latencyBounds)
+			obs.Labels{"priority": strconv.Itoa(p)}, latencyBounds,
+			obs.WithExemplars())
 		s.latByPrio[p] = h
 	}
-	h.Observe(0, lat)
+	h.ObserveT(0, lat, obs.TraceID(j.id))
 }
 
 // stageDone is the group-completion hook: the last task of a stage (on
@@ -923,6 +1098,13 @@ func (s *JobService) stageDone(j *Job, g *group) {
 	end := g.bar.Release(s.rt.opts.BarrierCost)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if tr := s.rt.tracer; tr.Enabled() {
+		// The stage window closes here: dispatch → barrier release.
+		// Windows are contiguous (the next stage dispatches at end), so a
+		// job's trace covers its whole running phase gap-free.
+		tr.Emit(s.trShard, obs.Span{Trace: obs.TraceID(j.id), Kind: obs.SpanStage,
+			Start: j.stageStart, End: end, Stage: j.curStage, Arg: j.stageTasks})
+	}
 	m := s.rt.met
 	switch {
 	case j.cancelled.Load():

@@ -69,6 +69,9 @@ type Profiler struct {
 	// reg, when attached, contributes its sampled history to the Chrome
 	// trace as counter tracks (fabric links, memory channels).
 	reg *obs.Registry
+	// tracer, when attached, contributes breaker transitions and SLO
+	// alert edges to the Chrome trace as instant events.
+	tracer *obs.Tracer
 }
 
 // NewProfiler returns a disabled profiler.
@@ -77,6 +80,10 @@ func NewProfiler() *Profiler { return &Profiler{} }
 // AttachRegistry links a metrics registry whose periodic samples become
 // counter tracks in WriteChromeTrace.
 func (p *Profiler) AttachRegistry(r *obs.Registry) { p.reg = r }
+
+// AttachTracer links a span tracer whose breaker transitions and SLO
+// alert edges become instant events in WriteChromeTrace.
+func (p *Profiler) AttachTracer(t *obs.Tracer) { p.tracer = t }
 
 // Enable turns recording on or off and clears recorded data when enabling.
 func (p *Profiler) Enable(on bool) {

@@ -20,6 +20,7 @@ import (
 
 	"charm/internal/fault"
 	"charm/internal/mem"
+	"charm/internal/obs"
 	"charm/internal/place"
 	"charm/internal/pmu"
 	"charm/internal/sim"
@@ -161,6 +162,9 @@ type Runtime struct {
 
 	prof *Profiler
 	met  *rtMetrics
+	// tracer is the causal-span sink: one shard per worker plus one for
+	// the job service's lock-serialized emissions. Disabled by default.
+	tracer *obs.Tracer
 
 	// ls serializes workers when Options.Deterministic is set (else nil).
 	ls *lockstep
@@ -243,6 +247,8 @@ func NewRuntime(m *sim.Machine, opts Options) *Runtime {
 	rt.met = newRTMetrics(rt, opts.Workers)
 	m.Instrument(rt.met.reg)
 	rt.prof.AttachRegistry(rt.met.reg)
+	rt.tracer = obs.NewTracer(opts.Workers+1, 0)
+	rt.prof.AttachTracer(rt.tracer)
 	for i := range rt.workerOnCore {
 		rt.workerOnCore[i].Store(-1)
 	}
@@ -334,6 +340,18 @@ func (rt *Runtime) Options() Options { return rt.opts }
 
 // Profiler returns the runtime's time-series profiler.
 func (rt *Runtime) Profiler() *Profiler { return rt.prof }
+
+// Tracer returns the runtime's causal-span tracer (disabled by default;
+// see EnableTracing).
+func (rt *Runtime) Tracer() *obs.Tracer { return rt.tracer }
+
+// EnableTracing turns causal job tracing on or off. When off, every span
+// emission point costs a single atomic load.
+func (rt *Runtime) EnableTracing(on bool) { rt.tracer.SetEnabled(on) }
+
+// trShard is the tracer shard index for service-side emissions (the
+// extra shard past the per-worker ones, serialized by svc.mu).
+func (rt *Runtime) trShard() int { return len(rt.workers) }
 
 // Now returns the current phase clock: the virtual time up to which all
 // submitted phases have completed.
@@ -434,6 +452,11 @@ type Task struct {
 	// job links the task to its open-loop job (nil for phase submissions);
 	// workers poll its cancellation flag at discard and yield points.
 	job *Job
+	// stage is the job stage index the task belongs to (trace spans);
+	// stallNS accumulates the task's simulated memory/fabric access time,
+	// the stall half of its execution window. Worker-owned.
+	stage   int32
+	stallNS int64
 }
 
 func (rt *Runtime) newTask(fn func(*Ctx), g *group, stamp int64, coro bool, home int) *Task {

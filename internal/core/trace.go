@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"charm/internal/obs"
 )
 
 // traceEvent is one Chrome trace-event JSON object. Args values are
@@ -135,6 +137,40 @@ func (p *Profiler) WriteChromeTrace(w io.Writer) error {
 				PID: 0, TID: s.Worker, Args: args},
 			traceEvent{Name: name, Phase: "E", TS: end,
 				PID: 0, TID: s.Worker})
+	}
+
+	// Breaker transitions and SLO alert edges from the span tracer: one
+	// instant event per edge on the machine-level pid, tid = chiplet (for
+	// breakers) or priority class (for alerts), so overload runs show
+	// breaker flaps and budget burns on the timeline.
+	if p.tracer != nil {
+		brkNames := map[int64]string{
+			0: "breaker-closed", 1: "breaker-open", 2: "breaker-half-open",
+		}
+		for _, s := range p.tracer.Spans() {
+			switch s.Kind {
+			case obs.SpanBreaker:
+				name := brkNames[s.Arg]
+				if name == "" {
+					name = "breaker"
+				}
+				events = append(events, traceEvent{
+					Name: name, Phase: "i", Scope: "t",
+					TS: float64(s.Start) / 1000.0, PID: 1, TID: int(s.Chiplet),
+					Args: map[string]float64{"from": float64(s.Arg2), "to": float64(s.Arg)},
+				})
+			case obs.SpanSLOAlert:
+				name := "slo-alert-cleared"
+				if s.Arg2 == 1 {
+					name = "slo-alert-fired"
+				}
+				events = append(events, traceEvent{
+					Name: name, Phase: "i", Scope: "t",
+					TS: float64(s.Start) / 1000.0, PID: 1, TID: int(s.Arg),
+					Args: map[string]float64{"class": float64(s.Arg)},
+				})
+			}
+		}
 	}
 
 	// Registry history: one counter track per traced metric (fabric link

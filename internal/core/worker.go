@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"charm/internal/mem"
+	"charm/internal/obs"
 	"charm/internal/pmu"
 	"charm/internal/task"
 	"charm/internal/topology"
@@ -392,7 +393,19 @@ func (w *Worker) finishTask(t *Task) {
 	if t.job != nil {
 		// Feed the job service's per-chiplet slowdown window (the
 		// PMU-observed half of the circuit-breaker signal).
-		t.job.svc.observeExec(int(w.rt.M.Topo.ChipletOf(w.Core())), now-t.startT)
+		ch := int(w.rt.M.Topo.ChipletOf(w.Core()))
+		t.job.svc.observeExec(ch, now-t.startT)
+		if tr := w.rt.tracer; tr.Enabled() {
+			// Arg carries the first-execution time (Arg−Start = dispatch
+			// wait, End−Arg = execution window) and Arg2 the window's
+			// accumulated memory/fabric stall.
+			tr.Emit(w.id, obs.Span{
+				Trace: obs.TraceID(t.job.id), Kind: obs.SpanTask,
+				Start: t.stamp, End: now,
+				Worker: int32(w.id), Chiplet: int32(ch), Stage: t.stage,
+				Arg: t.startT, Arg2: t.stallNS,
+			})
+		}
 	}
 	if w.rt.prof.Enabled() {
 		w.rt.prof.RecordSpan(TaskSpan{

@@ -1,0 +1,369 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Post-hoc critical-path attribution. A completed job's trace is a
+// contiguous chain in virtual time — admit-queue wait, then one window
+// per stage (dispatch → barrier release) — so walking the span tree
+// decomposes end-to-end latency into named buckets with no gaps by
+// construction. Within a stage the critical task is the one whose End
+// closes the barrier; its own span splits the stage window into dispatch
+// wait, compute, and memory/fabric stall, and any residue before the
+// critical task's enqueue is barrier skew from earlier work in the same
+// window (charged to queue, since the stage's tasks were runnable but
+// the critical one had not been picked up yet).
+
+// Breakdown attributes one job's end-to-end latency (virtual ns) to
+// causes. Total = AdmitQueue + DispatchQueue + Compute + Stall + Retry +
+// Unattributed; Unattributed is nonzero only when the trace is missing
+// spans (dropped on a full shard, or the job never completed).
+type Breakdown struct {
+	Trace    TraceID
+	Priority int64
+	Arrival  int64
+	Finish   int64
+	Total    int64
+
+	AdmitQueue    int64 // arrival → dispatch (admission-queue wait)
+	DispatchQueue int64 // stage-internal wait before the critical task ran
+	Compute       int64 // critical tasks' execution minus stalls
+	Stall         int64 // critical tasks' memory/fabric access time
+	Retry         int64 // backoff windows on the critical path
+	Unattributed  int64 // trace gaps (dropped spans, incomplete job)
+
+	Stages []StageBreakdown
+}
+
+// StageBreakdown decomposes one stage window.
+type StageBreakdown struct {
+	Stage   int32
+	Start   int64
+	End     int64
+	Tasks   int64
+	Queue   int64 // window time before the critical task executed
+	Compute int64
+	Stall   int64
+	Retry   int64
+	Chiplet int32 // chiplet the critical task ran on (-1 if unknown)
+	Worker  int32
+}
+
+// AttributedFraction is the share of Total explained by named buckets.
+func (b Breakdown) AttributedFraction() float64 {
+	if b.Total <= 0 {
+		return 1
+	}
+	return 1 - float64(b.Unattributed)/float64(b.Total)
+}
+
+// Analyze decomposes one job trace. It returns ok=false when the trace
+// has no stage spans (the job was shed, rejected, or expired before
+// dispatch — its breakdown is pure admit-queue time).
+func Analyze(tr Trace) (Breakdown, bool) {
+	b := Breakdown{Trace: tr.ID}
+	var stages []Span
+	var admit, term *Span
+	tasksByStage := map[int32][]Span{}
+	retriesByStage := map[int32][]Span{}
+	for i := range tr.Spans {
+		s := &tr.Spans[i]
+		switch s.Kind {
+		case SpanAdmitQueue:
+			admit = s
+		case SpanStage:
+			stages = append(stages, *s)
+		case SpanTask:
+			tasksByStage[s.Stage] = append(tasksByStage[s.Stage], *s)
+		case SpanRetry:
+			retriesByStage[s.Stage] = append(retriesByStage[s.Stage], *s)
+		case SpanShed, SpanExpire, SpanReject, SpanCancel, SpanFail:
+			if term == nil || s.End > term.End {
+				term = s
+			}
+			if b.Finish < s.End {
+				b.Finish = s.End
+			}
+		}
+	}
+	if admit != nil {
+		b.Arrival = admit.Start
+		b.Priority = admit.Arg
+		b.AdmitQueue = admit.End - admit.Start
+	} else if term != nil {
+		// Never dispatched: the terminal span covers arrival → verdict.
+		b.Arrival = term.Start
+		b.Priority = term.Arg
+	}
+	if len(stages) == 0 {
+		b.Total = b.Finish - b.Arrival
+		if b.Total < 0 {
+			b.Total = 0
+		}
+		// A job with no stage spans spent its whole recorded life in the
+		// admission queue (shed, rejected, or expired before dispatch).
+		if b.AdmitQueue < b.Total {
+			b.AdmitQueue = b.Total
+		}
+		return b, false
+	}
+	sort.Slice(stages, func(i, j int) bool { return stages[i].Stage < stages[j].Stage })
+	for _, st := range stages {
+		sb := StageBreakdown{Stage: st.Stage, Start: st.Start, End: st.End,
+			Tasks: st.Arg, Chiplet: -1, Worker: -1}
+		wall := st.End - st.Start
+		// The critical task is the one that released the barrier: the
+		// latest End in the stage (ties broken by the canonical order the
+		// spans already carry).
+		var crit *Span
+		tasks := tasksByStage[st.Stage]
+		for i := range tasks {
+			if crit == nil || tasks[i].End > crit.End {
+				crit = &tasks[i]
+			}
+		}
+		if crit != nil {
+			execStart := crit.Arg // first-execution time
+			queue := execStart - st.Start
+			if queue < 0 {
+				queue = 0
+			}
+			stall := crit.Arg2
+			compute := crit.End - execStart - stall
+			if compute < 0 {
+				compute = 0
+			}
+			// Retry backoff windows for this stage that overlap the
+			// critical task's pre-exec wait are the fault-induced share.
+			var retry int64
+			for _, r := range retriesByStage[st.Stage] {
+				retry += r.End - r.Start
+			}
+			if retry > queue {
+				retry = queue
+			}
+			queue -= retry
+			// Clamp to the stage wall so a missing tail span can never
+			// over-attribute.
+			if queue+compute+stall+retry > wall {
+				over := queue + compute + stall + retry - wall
+				if queue >= over {
+					queue -= over
+				} else {
+					over -= queue
+					queue = 0
+					if compute >= over {
+						compute -= over
+					} else {
+						compute = 0
+					}
+				}
+			}
+			sb.Queue, sb.Compute, sb.Stall, sb.Retry = queue, compute, stall, retry
+			sb.Chiplet, sb.Worker = crit.Chiplet, crit.Worker
+			// Tail of the window after the critical task's End (barrier
+			// bookkeeping) is charged to queue — it is time the job spent
+			// waiting on scheduling, not computing.
+			sb.Queue += wall - (queue + compute + stall + retry)
+		} else {
+			// No task spans survived for this stage: charge the whole
+			// window to queue only if we know nothing better.
+			sb.Queue = wall
+		}
+		b.Stages = append(b.Stages, sb)
+		b.DispatchQueue += sb.Queue
+		b.Compute += sb.Compute
+		b.Stall += sb.Stall
+		b.Retry += sb.Retry
+		if b.Finish < st.End {
+			b.Finish = st.End
+		}
+	}
+	if b.Arrival == 0 && admit == nil {
+		b.Arrival = stages[0].Start
+	}
+	b.Total = b.Finish - b.Arrival
+	attributed := b.AdmitQueue + b.DispatchQueue + b.Compute + b.Stall + b.Retry
+	b.Unattributed = b.Total - attributed
+	if b.Unattributed < 0 {
+		b.Unattributed = 0
+	}
+	return b, true
+}
+
+// Culprit is one row of an aggregate attribution table.
+type Culprit struct {
+	Key   string
+	NS    int64
+	Count int64
+}
+
+// Report aggregates per-job breakdowns into "top culprits" tables.
+type Report struct {
+	Jobs       []Breakdown
+	ByChiplet  []Culprit // critical-path exec+stall ns per chiplet
+	ByStage    []Culprit // critical-path wall ns per stage index
+	ByFault    []Culprit // instant counts per fault kind (retry/rehome/...)
+	TotalNS    int64
+	AttribNS   int64
+	QueueNS    int64 // admit + dispatch queue
+	ComputeNS  int64
+	StallNS    int64
+	RetryNS    int64
+	UnattribNS int64
+}
+
+// BuildReport analyzes every job trace the tracer holds (trace 0, the
+// runtime scope, feeds only the fault table).
+func BuildReport(t *Tracer) Report {
+	var rep Report
+	faults := map[string]*Culprit{}
+	chiplets := map[string]*Culprit{}
+	stages := map[string]*Culprit{}
+	bump := func(m map[string]*Culprit, key string, ns int64) {
+		c := m[key]
+		if c == nil {
+			c = &Culprit{Key: key}
+			m[key] = c
+		}
+		c.NS += ns
+		c.Count++
+	}
+	for _, tr := range t.Traces() {
+		if tr.ID == 0 {
+			for _, s := range tr.Spans {
+				switch s.Kind {
+				case SpanRehome, SpanPark, SpanBreaker:
+					bump(faults, s.Kind.String(), 0)
+				}
+			}
+			continue
+		}
+		for _, s := range tr.Spans {
+			switch s.Kind {
+			case SpanRetry:
+				bump(faults, "retry", s.End-s.Start)
+			case SpanShed, SpanExpire, SpanFail, SpanCancel:
+				bump(faults, s.Kind.String(), 0)
+			}
+		}
+		b, ok := Analyze(tr)
+		if !ok && b.Total == 0 {
+			continue
+		}
+		rep.Jobs = append(rep.Jobs, b)
+		rep.TotalNS += b.Total
+		rep.AttribNS += b.Total - b.Unattributed
+		rep.QueueNS += b.AdmitQueue + b.DispatchQueue
+		rep.ComputeNS += b.Compute
+		rep.StallNS += b.Stall
+		rep.RetryNS += b.Retry
+		rep.UnattribNS += b.Unattributed
+		for _, st := range b.Stages {
+			bump(stages, fmt.Sprintf("stage-%d", st.Stage), st.End-st.Start)
+			if st.Chiplet >= 0 {
+				bump(chiplets, fmt.Sprintf("chiplet-%d", st.Chiplet), st.Compute+st.Stall)
+			}
+		}
+	}
+	rep.ByChiplet = sortCulprits(chiplets)
+	rep.ByStage = sortCulprits(stages)
+	rep.ByFault = sortCulprits(faults)
+	// Slowest jobs first — the tail is what the report is for.
+	sort.Slice(rep.Jobs, func(i, j int) bool {
+		if rep.Jobs[i].Total != rep.Jobs[j].Total {
+			return rep.Jobs[i].Total > rep.Jobs[j].Total
+		}
+		return rep.Jobs[i].Trace < rep.Jobs[j].Trace
+	})
+	return rep
+}
+
+func sortCulprits(m map[string]*Culprit) []Culprit {
+	out := make([]Culprit, 0, len(m))
+	for _, c := range m {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NS != out[j].NS {
+			return out[i].NS > out[j].NS
+		}
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// WriteText renders the report as aligned tables.
+func (rep Report) WriteText(w io.Writer, topJobs int) {
+	pct := func(ns int64) float64 {
+		if rep.TotalNS == 0 {
+			return 0
+		}
+		return 100 * float64(ns) / float64(rep.TotalNS)
+	}
+	fmt.Fprintf(w, "critical-path attribution over %d jobs (total %.3f ms on the critical path)\n\n",
+		len(rep.Jobs), float64(rep.TotalNS)/1e6)
+	fmt.Fprintf(w, "  %-14s %12s %7s\n", "bucket", "ns", "share")
+	for _, row := range []struct {
+		k  string
+		ns int64
+	}{
+		{"queue", rep.QueueNS}, {"compute", rep.ComputeNS},
+		{"stall", rep.StallNS}, {"retry", rep.RetryNS},
+		{"unattributed", rep.UnattribNS},
+	} {
+		fmt.Fprintf(w, "  %-14s %12d %6.1f%%\n", row.k, row.ns, pct(row.ns))
+	}
+	writeCulprits := func(title string, rows []Culprit) {
+		if len(rows) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "\n  top culprits %s\n", title)
+		for i, c := range rows {
+			if i >= 8 {
+				break
+			}
+			fmt.Fprintf(w, "    %-14s %12d ns  %6d events\n", c.Key, c.NS, c.Count)
+		}
+	}
+	writeCulprits("by chiplet (critical exec+stall)", rep.ByChiplet)
+	writeCulprits("by stage (wall)", rep.ByStage)
+	writeCulprits("by fault kind", rep.ByFault)
+	if topJobs > 0 && len(rep.Jobs) > 0 {
+		fmt.Fprintf(w, "\n  slowest jobs\n")
+		fmt.Fprintf(w, "    %-8s %4s %12s %10s %10s %10s %10s %8s\n",
+			"trace", "prio", "total", "queue", "compute", "stall", "retry", "attrib")
+		for i, b := range rep.Jobs {
+			if i >= topJobs {
+				break
+			}
+			fmt.Fprintf(w, "    %-8d %4d %12d %10d %10d %10d %10d %7.1f%%\n",
+				b.Trace, b.Priority, b.Total, b.AdmitQueue+b.DispatchQueue,
+				b.Compute, b.Stall, b.Retry, 100*b.AttributedFraction())
+		}
+	}
+}
+
+// WriteJobText renders one job's per-stage breakdown.
+func (b Breakdown) WriteJobText(w io.Writer) {
+	fmt.Fprintf(w, "trace %d  priority %d  arrival %d  finish %d  total %d ns  (%.1f%% attributed)\n",
+		b.Trace, b.Priority, b.Arrival, b.Finish, b.Total, 100*b.AttributedFraction())
+	fmt.Fprintf(w, "  %-14s %12d ns\n", "admit-queue", b.AdmitQueue)
+	for _, st := range b.Stages {
+		fmt.Fprintf(w, "  stage %-3d [%d..%d] %d tasks  queue %d  compute %d  stall %d  retry %d",
+			st.Stage, st.Start, st.End, st.Tasks, st.Queue, st.Compute, st.Stall, st.Retry)
+		if st.Chiplet >= 0 {
+			fmt.Fprintf(w, "  (critical on chiplet %d, worker %d)", st.Chiplet, st.Worker)
+		}
+		fmt.Fprintln(w)
+	}
+	if b.Unattributed > 0 {
+		fmt.Fprintf(w, "  %-14s %12d ns\n", "unattributed", b.Unattributed)
+	}
+}

@@ -7,9 +7,12 @@ import (
 
 // JSONBucket is one histogram bucket in the JSON document. LE is the
 // inclusive upper bound in virtual ns; the +Inf bucket uses LE = "+Inf".
+// Exemplar, when non-zero, is a TraceID that observed into this bucket —
+// the link from a tail bucket to the flight-recorded trace behind it.
 type JSONBucket struct {
-	LE    string `json:"le"`
-	Count int64  `json:"count"`
+	LE       string `json:"le"`
+	Count    int64  `json:"count"`
+	Exemplar uint64 `json:"exemplar,omitempty"`
 }
 
 // JSONMetric is one metric in the JSON document.
@@ -47,12 +50,18 @@ func BuildJSON(s Snapshot, history []Snapshot) JSONDoc {
 		jm := JSONMetric{Name: sm.Name, Labels: sm.Labels, Type: sm.Kind.String()}
 		if sm.Hist != nil {
 			h := sm.Hist
+			ex := func(j int) uint64 {
+				if j < len(h.Exemplars) {
+					return uint64(h.Exemplars[j])
+				}
+				return 0
+			}
 			var cum int64
 			for j, b := range h.Bounds {
 				cum += h.Counts[j]
-				jm.Buckets = append(jm.Buckets, JSONBucket{LE: formatValue(float64(b)), Count: cum})
+				jm.Buckets = append(jm.Buckets, JSONBucket{LE: formatValue(float64(b)), Count: cum, Exemplar: ex(j)})
 			}
-			jm.Buckets = append(jm.Buckets, JSONBucket{LE: "+Inf", Count: h.Count})
+			jm.Buckets = append(jm.Buckets, JSONBucket{LE: "+Inf", Count: h.Count, Exemplar: ex(len(h.Bounds))})
 			sum, count := h.Sum, h.Count
 			jm.Sum, jm.Count = &sum, &count
 		} else {

@@ -85,6 +85,9 @@ type Desc struct {
 	// Traced metrics are included in periodic samples and exported as
 	// Chrome-trace counter tracks.
 	Traced bool
+	// Exemplars gives a histogram one TraceID slot per bucket, linking
+	// tail buckets to a job trace that landed there (ObserveT).
+	Exemplars bool
 }
 
 // Option modifies a metric description at registration.
@@ -92,6 +95,10 @@ type Option func(*Desc)
 
 // Traced marks a metric for periodic sampling / trace counter tracks.
 func Traced() Option { return func(d *Desc) { d.Traced = true } }
+
+// WithExemplars allocates per-bucket exemplar slots on a histogram so
+// ObserveT can attach the observing job's TraceID to its bucket.
+func WithExemplars() Option { return func(d *Desc) { d.Exemplars = true } }
 
 // metric is the internal interface every registered metric implements.
 type metric interface {
@@ -206,6 +213,9 @@ func (r *Registry) Histogram(name, help string, labels Labels, bounds []int64, o
 		h.shards = make([]histShard, r.shards)
 		for i := range h.shards {
 			h.shards[i].counts = make([]atomic.Int64, len(bounds)+1)
+			if d.Exemplars {
+				h.shards[i].ex = make([]atomic.Uint64, len(bounds)+1)
+			}
 		}
 		return h
 	}).(*Histogram)
@@ -299,7 +309,8 @@ func (g *Gauge) collect(int64) Sample {
 type histShard struct {
 	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
 	sum    atomic.Int64
-	_      [48]byte
+	ex     []atomic.Uint64 // optional per-bucket exemplar TraceIDs
+	_      [24]byte
 }
 
 // Histogram is a sharded fixed-bucket histogram over int64 observations
@@ -314,7 +325,14 @@ type Histogram struct {
 func (h *Histogram) describe() *Desc { return &h.d }
 
 // Observe records v into the shard's bucket for the smallest bound >= v.
-func (h *Histogram) Observe(shard int, v int64) {
+func (h *Histogram) Observe(shard int, v int64) { h.ObserveT(shard, v, 0) }
+
+// ObserveT is Observe plus an exemplar: when the histogram was registered
+// WithExemplars and trace is non-zero, the bucket's exemplar slot keeps
+// the largest TraceID seen — a max is shard-order-independent, so merged
+// exemplars are deterministic under replay (and the largest job id is the
+// most recently admitted job to land in the bucket).
+func (h *Histogram) ObserveT(shard int, v int64, trace TraceID) {
 	if !h.r.enabled.Load() {
 		return
 	}
@@ -322,6 +340,14 @@ func (h *Histogram) Observe(shard int, v int64) {
 	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
 	s.counts[i].Add(1)
 	s.sum.Add(v)
+	if s.ex != nil && trace != 0 {
+		for {
+			old := s.ex[i].Load()
+			if uint64(trace) <= old || s.ex[i].CompareAndSwap(old, uint64(trace)) {
+				break
+			}
+		}
+	}
 }
 
 // Bounds returns the bucket upper bounds (excluding +Inf).
@@ -344,11 +370,34 @@ func (h *Histogram) Merged() (counts []int64, sum, count int64) {
 	return counts, sum, count
 }
 
+// Exemplars merges the per-bucket exemplar TraceIDs across shards (max
+// wins; 0 means none). Returns nil when the histogram has no exemplar
+// slots.
+func (h *Histogram) Exemplars() []TraceID {
+	if !h.d.Exemplars {
+		return nil
+	}
+	out := make([]TraceID, len(h.bounds)+1)
+	for s := range h.shards {
+		sh := &h.shards[s]
+		if sh.ex == nil {
+			continue
+		}
+		for i := range out {
+			if v := TraceID(sh.ex[i].Load()); v > out[i] {
+				out[i] = v
+			}
+		}
+	}
+	return out
+}
+
 func (h *Histogram) collect(int64) Sample {
 	counts, sum, count := h.Merged()
 	return Sample{Name: h.d.Name, Labels: h.d.Labels, Kind: h.d.Kind,
 		Help: h.d.Help, Traced: h.d.Traced,
-		Hist: &HistData{Bounds: h.bounds, Counts: counts, Sum: sum, Count: count}}
+		Hist: &HistData{Bounds: h.bounds, Counts: counts, Sum: sum, Count: count,
+			Exemplars: h.Exemplars()}}
 }
 
 // funcMetric is evaluated at snapshot time.
@@ -366,10 +415,11 @@ func (m *funcMetric) collect(now int64) Sample {
 
 // HistData is a histogram's merged state in a snapshot.
 type HistData struct {
-	Bounds []int64 // upper bounds, ascending, +Inf implicit
-	Counts []int64 // per-bucket (non-cumulative); len(Bounds)+1
-	Sum    int64
-	Count  int64
+	Bounds    []int64 // upper bounds, ascending, +Inf implicit
+	Counts    []int64 // per-bucket (non-cumulative); len(Bounds)+1
+	Sum       int64
+	Count     int64
+	Exemplars []TraceID // per-bucket exemplar TraceIDs (nil if disabled)
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) of the distribution by

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Multi-window SLO burn-rate tracking over virtual time. Each priority
+// class carries an availability objective ("this fraction of jobs meets
+// its deadline"); completions stream in as good/bad events bucketed into
+// fixed virtual-time slots, and evaluation compares the burn rate — bad
+// fraction divided by the error budget (1 − target) — over a fast and a
+// slow window. An alert fires only when BOTH windows exceed their
+// thresholds (the fast window gives low detection latency, the slow one
+// filters blips), the standard multi-window multi-burn-rate construction
+// from SRE practice. Everything is keyed to virtual timestamps, so
+// deterministic replays produce identical alert sequences.
+
+// BurnConfig shapes the evaluation windows. Zero values select the
+// defaults, scaled for simulated runs (milliseconds of virtual time
+// rather than the hours a production system would use).
+type BurnConfig struct {
+	SlotNS     int64   // bucketing granularity (default 50µs virtual)
+	FastWindow int64   // fast window span (default 20 slots)
+	SlowWindow int64   // slow window span (default 120 slots)
+	FastBurn   float64 // fast-window burn threshold (default 14)
+	SlowBurn   float64 // slow-window burn threshold (default 6)
+}
+
+func (c BurnConfig) withDefaults() BurnConfig {
+	if c.SlotNS <= 0 {
+		c.SlotNS = 50_000
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = 20 * c.SlotNS
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = 120 * c.SlotNS
+	}
+	if c.FastBurn <= 0 {
+		c.FastBurn = 14
+	}
+	if c.SlowBurn <= 0 {
+		c.SlowBurn = 6
+	}
+	return c
+}
+
+// sloSlot is one virtual-time bucket of outcomes.
+type sloSlot struct {
+	slot int64 // slot index (virtual time / SlotNS)
+	good int64
+	bad  int64
+}
+
+// sloClass tracks one priority class's budget.
+type sloClass struct {
+	class  int
+	target float64
+	slots  []sloSlot // ascending by slot; pruned past the slow window
+	firing bool
+	good   int64 // lifetime totals
+	bad    int64
+}
+
+// SLOAlert is one burn-rate alert edge.
+type SLOAlert struct {
+	Class    int
+	T        int64 // virtual time of the evaluation that flipped it
+	Firing   bool  // true = fired, false = cleared
+	FastBurn float64
+	SlowBurn float64
+}
+
+// SLOTracker holds per-class error budgets. It is not internally
+// synchronized: the job service drives it under its own lock, in
+// virtual-time order, which is what keeps replays byte-identical.
+type SLOTracker struct {
+	cfg     BurnConfig
+	classes map[int]*sloClass
+	alerts  []SLOAlert
+}
+
+// NewSLOTracker builds a tracker with the given window config.
+func NewSLOTracker(cfg BurnConfig) *SLOTracker {
+	return &SLOTracker{cfg: cfg.withDefaults(), classes: map[int]*sloClass{}}
+}
+
+// SetObjective declares a class's availability target, e.g. 0.95 means
+// "95% of this class's jobs meet their deadline". Targets outside (0,1)
+// are clamped.
+func (t *SLOTracker) SetObjective(class int, target float64) {
+	if target <= 0 {
+		target = 0.5
+	}
+	if target >= 1 {
+		target = 0.999
+	}
+	c := t.classes[class]
+	if c == nil {
+		c = &sloClass{class: class}
+		t.classes[class] = c
+	}
+	c.target = target
+}
+
+// Record streams one job outcome for a class at virtual time now.
+// Classes without a declared objective are ignored.
+func (t *SLOTracker) Record(class int, good bool, now int64) {
+	c := t.classes[class]
+	if c == nil {
+		return
+	}
+	slot := now / t.cfg.SlotNS
+	n := len(c.slots)
+	if n == 0 || c.slots[n-1].slot != slot {
+		c.slots = append(c.slots, sloSlot{slot: slot})
+		n++
+		// Prune slots older than the slow window.
+		min := slot - t.cfg.SlowWindow/t.cfg.SlotNS - 1
+		cut := 0
+		for cut < n && c.slots[cut].slot < min {
+			cut++
+		}
+		if cut > 0 {
+			c.slots = append(c.slots[:0], c.slots[cut:]...)
+			n = len(c.slots)
+		}
+	}
+	if good {
+		c.slots[n-1].good++
+		c.good++
+	} else {
+		c.slots[n-1].bad++
+		c.bad++
+	}
+}
+
+// burn computes the burn rate over [now-window, now] for one class.
+func (t *SLOTracker) burn(c *sloClass, now, window int64) float64 {
+	minSlot := (now - window) / t.cfg.SlotNS
+	var good, bad int64
+	for i := len(c.slots) - 1; i >= 0; i-- {
+		if c.slots[i].slot < minSlot {
+			break
+		}
+		good += c.slots[i].good
+		bad += c.slots[i].bad
+	}
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - c.target
+	return (float64(bad) / float64(total)) / budget
+}
+
+// Evaluate recomputes every class's windows at virtual time now and
+// returns the alert edges (fired or cleared) this evaluation produced.
+// Edges are also appended to the tracker's alert log.
+func (t *SLOTracker) Evaluate(now int64) []SLOAlert {
+	classes := make([]int, 0, len(t.classes))
+	for k := range t.classes {
+		classes = append(classes, k)
+	}
+	sort.Ints(classes)
+	var edges []SLOAlert
+	for _, k := range classes {
+		c := t.classes[k]
+		fast := t.burn(c, now, t.cfg.FastWindow)
+		slow := t.burn(c, now, t.cfg.SlowWindow)
+		firing := fast >= t.cfg.FastBurn && slow >= t.cfg.SlowBurn
+		if firing != c.firing {
+			c.firing = firing
+			e := SLOAlert{Class: k, T: now, Firing: firing, FastBurn: fast, SlowBurn: slow}
+			edges = append(edges, e)
+			t.alerts = append(t.alerts, e)
+		}
+	}
+	return edges
+}
+
+// Alerts returns the full alert-edge log in virtual-time order.
+func (t *SLOTracker) Alerts() []SLOAlert { return t.alerts }
+
+// SLOStatus is one class's summary for reports.
+type SLOStatus struct {
+	Class    int
+	Target   float64
+	Good     int64
+	Bad      int64
+	Achieved float64 // lifetime good fraction
+	FastBurn float64
+	SlowBurn float64
+	Firing   bool
+	Alerts   int // fired edges over the run
+}
+
+// Status summarizes every class at virtual time now.
+func (t *SLOTracker) Status(now int64) []SLOStatus {
+	classes := make([]int, 0, len(t.classes))
+	for k := range t.classes {
+		classes = append(classes, k)
+	}
+	sort.Ints(classes)
+	out := make([]SLOStatus, 0, len(classes))
+	for _, k := range classes {
+		c := t.classes[k]
+		st := SLOStatus{Class: k, Target: c.target, Good: c.good, Bad: c.bad,
+			FastBurn: t.burn(c, now, t.cfg.FastWindow),
+			SlowBurn: t.burn(c, now, t.cfg.SlowWindow), Firing: c.firing}
+		if tot := c.good + c.bad; tot > 0 {
+			st.Achieved = float64(c.good) / float64(tot)
+		}
+		for _, a := range t.alerts {
+			if a.Class == k && a.Firing {
+				st.Alerts++
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// WriteText renders the per-class status table plus the alert log.
+func (t *SLOTracker) WriteText(w io.Writer, now int64) {
+	fmt.Fprintf(w, "SLO status at virtual t=%d ns\n\n", now)
+	fmt.Fprintf(w, "  %-5s %7s %9s %8s %8s %9s %9s %7s %7s\n",
+		"class", "target", "achieved", "good", "bad", "fastburn", "slowburn", "firing", "alerts")
+	for _, st := range t.Status(now) {
+		fmt.Fprintf(w, "  %-5d %6.2f%% %8.2f%% %8d %8d %9.2f %9.2f %7v %7d\n",
+			st.Class, 100*st.Target, 100*st.Achieved, st.Good, st.Bad,
+			st.FastBurn, st.SlowBurn, st.Firing, st.Alerts)
+	}
+	if len(t.alerts) > 0 {
+		fmt.Fprintf(w, "\n  alert log\n")
+		for _, a := range t.alerts {
+			verb := "FIRED"
+			if !a.Firing {
+				verb = "cleared"
+			}
+			fmt.Fprintf(w, "    t=%-12d class %d %-7s (fast %.2f, slow %.2f)\n",
+				a.T, a.Class, verb, a.FastBurn, a.SlowBurn)
+		}
+	}
+}

@@ -1,0 +1,426 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the causal-tracing half of the observability plane: every
+// job admitted through the open-loop service carries a TraceID, and the
+// runtime emits typed span events — queue wait, per-stage execution,
+// per-task lifecycle, retries, sheds, breaker transitions — into a
+// sharded span buffer. Spans carry only virtual timestamps, so under
+// deterministic lockstep two runs of the same seeded workload produce
+// byte-identical trace output (see WriteJSON's canonical ordering).
+//
+// Buffering follows the registry's sharding rule: each worker appends to
+// its own cache-padded shard, so concurrent workers never contend; the
+// service-side emissions (admission, stage advancement, breakers) go to a
+// dedicated extra shard serialized by the service lock. Shard locks exist
+// only so post-run collection and mid-run compaction are race-free — in
+// steady state every shard has exactly one writer and the lock is never
+// contended.
+
+// TraceID identifies one job's causal trace. 0 is the runtime scope:
+// spans that belong to the machine (re-homes, parks, breaker flaps, SLO
+// alerts) rather than to a single job.
+type TraceID uint64
+
+// SpanKind types a span event.
+type SpanKind uint8
+
+const (
+	// SpanAdmitQueue covers arrival → dispatch: the admission-queue wait.
+	// Arg is the job's priority class.
+	SpanAdmitQueue SpanKind = iota
+	// SpanStage covers one job stage: dispatch → barrier release.
+	// Stage is the stage index; Arg is the stage's task count.
+	SpanStage
+	// SpanTask is one job task's lifecycle: Start is the enqueue stamp,
+	// End the completion; Arg is the first-execution time (so
+	// Arg−Start is the task's dispatch-queue wait and End−Arg its
+	// execution window) and Arg2 the virtual ns of that window spent in
+	// simulated memory/fabric accesses (the stall aggregate).
+	SpanTask
+	// SpanRetry covers a failed execution's backoff window: failure time
+	// → the retry's earliest start stamp. Arg is the attempt number.
+	SpanRetry
+	// SpanRehome is an instant: a worker migrated off a dead core.
+	// Arg is the replacement core.
+	SpanRehome
+	// SpanPark is an instant: a worker parked with no replacement core.
+	SpanPark
+	// SpanCancel is an instant: the job was discarded after cancellation.
+	SpanCancel
+	// SpanShed covers arrival → drop for a job discarded by deadline-
+	// aware shedding (hopeless budget or evicted). Arg is the priority.
+	SpanShed
+	// SpanReject is an instant: the job was refused at admission.
+	SpanReject
+	// SpanExpire covers arrival → drop for a job whose deadline passed
+	// while queued.
+	SpanExpire
+	// SpanFail is an instant: a task failure past its retry budget
+	// terminated the job.
+	SpanFail
+	// SpanBreaker is an instant: a chiplet breaker changed state.
+	// Chiplet locates it; Arg is the new state, Arg2 the previous
+	// (admit.BreakerState values).
+	SpanBreaker
+	// SpanSLOAlert is an instant: a burn-rate alert fired (Arg2=1) or
+	// cleared (Arg2=0) for priority class Arg.
+	SpanSLOAlert
+
+	numSpanKinds
+)
+
+// String names the kind for reports and serialized traces.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanAdmitQueue:
+		return "admit-queue"
+	case SpanStage:
+		return "stage"
+	case SpanTask:
+		return "task"
+	case SpanRetry:
+		return "retry"
+	case SpanRehome:
+		return "rehome"
+	case SpanPark:
+		return "park"
+	case SpanCancel:
+		return "cancel"
+	case SpanShed:
+		return "shed"
+	case SpanReject:
+		return "reject"
+	case SpanExpire:
+		return "expire"
+	case SpanFail:
+		return "fail"
+	case SpanBreaker:
+		return "breaker"
+	case SpanSLOAlert:
+		return "slo-alert"
+	}
+	return "?"
+}
+
+// Span is one typed trace event in virtual time. Instant events have
+// End == Start. The Arg/Arg2 meanings are kind-specific (see the kind
+// constants).
+type Span struct {
+	Trace   TraceID
+	Kind    SpanKind
+	Start   int64
+	End     int64
+	Worker  int32
+	Chiplet int32
+	Stage   int32
+	Arg     int64
+	Arg2    int64
+}
+
+// traceShard is one writer's private span buffer. The mutex is only ever
+// contended by post-run collection and compaction; steady-state appends
+// come from the shard's single owner.
+type traceShard struct {
+	mu    sync.Mutex
+	spans []Span
+	_     [40]byte
+}
+
+// DefaultSpanCap is the per-shard span bound when NewTracer is given 0.
+const DefaultSpanCap = 1 << 16
+
+// DefaultFlightRecorderCap bounds how many violating/anomalous traces the
+// flight recorder retains.
+const DefaultFlightRecorderCap = 256
+
+// Tracer is the runtime's span sink. Emission is gated on one atomic
+// flag: with tracing off an Emit costs a single atomic load and no
+// writes, so traced and untraced runs have identical virtual-time
+// results.
+type Tracer struct {
+	enabled  atomic.Bool
+	shardCap int
+	shards   []traceShard
+	dropped  atomic.Int64
+
+	// Flight-recorder state: a bounded FIFO of retained TraceIDs plus
+	// the set of explicitly released (healthy, completed) traces that
+	// compaction may reclaim.
+	recMu     sync.Mutex
+	retainCap int
+	retained  map[TraceID]struct{}
+	ring      []TraceID
+	released  map[TraceID]struct{}
+}
+
+// NewTracer builds a tracer with the given shard count (one per worker
+// plus one for the service side) and per-shard span bound (0 selects
+// DefaultSpanCap). The tracer starts disabled.
+func NewTracer(shards, shardCap int) *Tracer {
+	if shards < 1 {
+		shards = 1
+	}
+	if shardCap <= 0 {
+		shardCap = DefaultSpanCap
+	}
+	return &Tracer{
+		shardCap:  shardCap,
+		shards:    make([]traceShard, shards),
+		retainCap: DefaultFlightRecorderCap,
+		retained:  map[TraceID]struct{}{},
+		released:  map[TraceID]struct{}{},
+	}
+}
+
+// SetEnabled turns span recording on or off.
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// SetFlightRecorderCap bounds the retained-trace ring (minimum 1).
+func (t *Tracer) SetFlightRecorderCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.recMu.Lock()
+	t.retainCap = n
+	t.recMu.Unlock()
+}
+
+// Emit appends one span to the given shard. It is a no-op while the
+// tracer is disabled; a full shard drops the span and counts it.
+func (t *Tracer) Emit(shard int, s Span) {
+	if !t.enabled.Load() {
+		return
+	}
+	sh := &t.shards[shard]
+	sh.mu.Lock()
+	if len(sh.spans) >= t.shardCap {
+		sh.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	sh.spans = append(sh.spans, s)
+	sh.mu.Unlock()
+}
+
+// DroppedSpans reports how many spans were discarded on full shards.
+func (t *Tracer) DroppedSpans() int64 { return t.dropped.Load() }
+
+// Retain marks a trace for flight-recorder retention (SLO violators and
+// anomalies). When the ring is full the oldest retained trace is evicted
+// and released for compaction.
+func (t *Tracer) Retain(id TraceID) {
+	if !t.enabled.Load() || id == 0 {
+		return
+	}
+	t.recMu.Lock()
+	if _, ok := t.retained[id]; !ok {
+		if len(t.ring) >= t.retainCap {
+			old := t.ring[0]
+			t.ring = t.ring[1:]
+			delete(t.retained, old)
+			t.released[old] = struct{}{}
+		}
+		t.retained[id] = struct{}{}
+		t.ring = append(t.ring, id)
+		delete(t.released, id)
+	}
+	t.recMu.Unlock()
+}
+
+// Release marks a completed trace as uninteresting: compaction may drop
+// its spans to reclaim buffer space (tail-based retention — only
+// violating traces keep their full span record).
+func (t *Tracer) Release(id TraceID) {
+	if !t.enabled.Load() || id == 0 {
+		return
+	}
+	t.recMu.Lock()
+	if _, ok := t.retained[id]; !ok {
+		t.released[id] = struct{}{}
+	}
+	t.recMu.Unlock()
+}
+
+// Retained reports whether the flight recorder holds the trace.
+func (t *Tracer) Retained(id TraceID) bool {
+	t.recMu.Lock()
+	_, ok := t.retained[id]
+	t.recMu.Unlock()
+	return ok
+}
+
+// RetainedIDs returns the flight recorder's contents in retention order.
+func (t *Tracer) RetainedIDs() []TraceID {
+	t.recMu.Lock()
+	out := append([]TraceID(nil), t.ring...)
+	t.recMu.Unlock()
+	return out
+}
+
+// Compact drops the spans of released (healthy, completed) traces from
+// every shard, reclaiming buffer space mid-run. The caller decides when
+// — the job service invokes it from its evaluation tick once the buffer
+// passes a high-water mark, which keeps the decision in virtual time and
+// therefore deterministic.
+func (t *Tracer) Compact() {
+	t.recMu.Lock()
+	if len(t.released) == 0 {
+		t.recMu.Unlock()
+		return
+	}
+	released := t.released
+	t.released = map[TraceID]struct{}{}
+	t.recMu.Unlock()
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		kept := sh.spans[:0]
+		for _, s := range sh.spans {
+			if _, drop := released[s.Trace]; !drop {
+				kept = append(kept, s)
+			}
+		}
+		sh.spans = kept
+		sh.mu.Unlock()
+	}
+}
+
+// SpanCount returns the number of buffered spans across all shards.
+func (t *Tracer) SpanCount() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.spans)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// spanLess is the canonical span order: a total order over every field,
+// so any two runs that produced the same span multiset serialize
+// byte-identically regardless of shard placement.
+func spanLess(a, b *Span) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.Trace != b.Trace {
+		return a.Trace < b.Trace
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Stage != b.Stage {
+		return a.Stage < b.Stage
+	}
+	if a.Worker != b.Worker {
+		return a.Worker < b.Worker
+	}
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	if a.Arg != b.Arg {
+		return a.Arg < b.Arg
+	}
+	return a.Arg2 < b.Arg2
+}
+
+// Spans merges every shard's buffer in canonical order.
+func (t *Tracer) Spans() []Span {
+	var out []Span
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.spans...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return spanLess(&out[i], &out[j]) })
+	return out
+}
+
+// Trace is one job's collected spans in canonical order.
+type Trace struct {
+	ID    TraceID
+	Spans []Span
+}
+
+// TraceOf collects the spans of a single trace.
+func (t *Tracer) TraceOf(id TraceID) Trace {
+	tr := Trace{ID: id}
+	for _, s := range t.Spans() {
+		if s.Trace == id {
+			tr.Spans = append(tr.Spans, s)
+		}
+	}
+	return tr
+}
+
+// Traces groups every buffered span by TraceID, ascending (the runtime
+// scope, trace 0, comes first when present).
+func (t *Tracer) Traces() []Trace {
+	spans := t.Spans()
+	byID := map[TraceID][]Span{}
+	for _, s := range spans {
+		byID[s.Trace] = append(byID[s.Trace], s)
+	}
+	ids := make([]TraceID, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]Trace, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, Trace{ID: id, Spans: byID[id]})
+	}
+	return out
+}
+
+// jsonSpan is the serialized span form: stable field order, symbolic
+// kind, virtual-ns timestamps.
+type jsonSpan struct {
+	Trace   TraceID `json:"trace"`
+	Kind    string  `json:"kind"`
+	Start   int64   `json:"start"`
+	End     int64   `json:"end"`
+	Worker  int32   `json:"worker"`
+	Chiplet int32   `json:"chiplet"`
+	Stage   int32   `json:"stage"`
+	Arg     int64   `json:"arg,omitempty"`
+	Arg2    int64   `json:"arg2,omitempty"`
+}
+
+// TraceDoc is the serialized trace document.
+type TraceDoc struct {
+	Spans    []jsonSpan `json:"spans"`
+	Retained []TraceID  `json:"retained,omitempty"`
+	Dropped  int64      `json:"dropped,omitempty"`
+}
+
+// WriteJSON serializes every buffered span (canonical order) plus the
+// flight-recorder contents. Two deterministic runs of the same seeded
+// workload produce byte-identical output.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	spans := t.Spans()
+	doc := TraceDoc{Spans: make([]jsonSpan, 0, len(spans)),
+		Retained: t.RetainedIDs(), Dropped: t.dropped.Load()}
+	for _, s := range spans {
+		doc.Spans = append(doc.Spans, jsonSpan{
+			Trace: s.Trace, Kind: s.Kind.String(), Start: s.Start, End: s.End,
+			Worker: s.Worker, Chiplet: s.Chiplet, Stage: s.Stage,
+			Arg: s.Arg, Arg2: s.Arg2,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,376 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// --- Prometheus label escaping (exposition-format compliance) ---
+
+func TestPromLabelEscaping(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`dou"ble`, `dou\"ble`},
+		{"new\nline", `new\nline`},
+		{"tab\tstays", "tab\tstays"}, // only \ " \n are escaped
+		{"uni-\u00e9\u4e16", "uni-\u00e9\u4e16"},
+		{`all\three"at
+once`, `all\\three\"at\nonce`},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// End to end: the escaped value must appear in the exposition line and
+	// the raw value must not produce an unescaped quote or newline.
+	r := NewRegistry(1)
+	r.SetEnabled(true)
+	r.Counter("charm_escape_test_total", "h", Labels{"path": "a\\b\"c\nd"}).Inc(0)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	want := `charm_escape_test_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("exposition output missing %q:\n%s", want, buf.String())
+	}
+}
+
+// --- JSON export edge cases (labels survive, exemplars surface) ---
+
+func TestJSONLabelAndExemplarEdgeCases(t *testing.T) {
+	r := NewRegistry(2)
+	r.SetEnabled(true)
+	r.Counter("charm_json_edge_total", "h", Labels{"k": `q"uote` + "\nnl"}).Inc(0)
+	h := r.Histogram("charm_json_lat_ns", "h", nil, []int64{10, 100}, WithExemplars())
+	h.ObserveT(0, 5, TraceID(7))
+	h.ObserveT(1, 500, TraceID(9))
+	h.ObserveT(1, 500, TraceID(3)) // 9 stays: exemplar keeps the max trace
+	doc := BuildJSON(r.Snapshot(0), nil)
+	var found, exemplars int
+	for _, m := range doc.Metrics {
+		switch m.Name {
+		case "charm_json_edge_total":
+			found++
+			if m.Labels["k"] != `q"uote`+"\nnl" {
+				t.Errorf("label mangled in JSON: %q", m.Labels["k"])
+			}
+		case "charm_json_lat_ns":
+			found++
+			for _, b := range m.Buckets {
+				switch b.Exemplar {
+				case 7:
+					if b.LE != "10" {
+						t.Errorf("exemplar 7 on bucket le=%s, want 10", b.LE)
+					}
+					exemplars++
+				case 9:
+					if b.LE != "+Inf" {
+						t.Errorf("exemplar 9 on bucket le=%s, want +Inf", b.LE)
+					}
+					exemplars++
+				case 0: // no exemplar on this bucket
+				default:
+					t.Errorf("unexpected exemplar %d on le=%s", b.Exemplar, b.LE)
+				}
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("found %d of 2 metrics in JSON doc", found)
+	}
+	if exemplars != 2 {
+		t.Errorf("surfaced %d exemplars, want 2", exemplars)
+	}
+}
+
+// TestHistogramExemplars: the per-bucket exemplar slot must keep the
+// maximum TraceID across shards (a shard-order-independent merge), and a
+// histogram without WithExemplars must return nil.
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry(4)
+	r.SetEnabled(true)
+	h := r.Histogram("charm_ex_ns", "h", nil, []int64{100}, WithExemplars())
+	for shard := 0; shard < 4; shard++ {
+		h.ObserveT(shard, 50, TraceID(10+shard))
+		h.ObserveT(shard, 5000, TraceID(20+shard))
+	}
+	h.ObserveT(0, 50, 0) // trace 0 never becomes an exemplar
+	ex := h.Exemplars()
+	if len(ex) != 2 {
+		t.Fatalf("exemplar slots = %d, want 2", len(ex))
+	}
+	if ex[0] != 13 || ex[1] != 23 {
+		t.Errorf("exemplars = %v, want [13 23]", ex)
+	}
+	plain := r.Histogram("charm_noex_ns", "h", nil, []int64{100})
+	plain.Observe(0, 50)
+	if plain.Exemplars() != nil {
+		t.Error("histogram without WithExemplars returned exemplars")
+	}
+}
+
+// --- Sampling under concurrency (satellite: race coverage) ---
+
+// TestSamplingConcurrentShards: concurrent MaybeSample and shard writes
+// must race-cleanly produce a bounded history with monotone timestamps and
+// an accurate drop count.
+func TestSamplingConcurrentShards(t *testing.T) {
+	const shards, iters, cap = 8, 2000, 16
+	r := NewRegistry(shards)
+	r.SetEnabled(true)
+	r.EnableSampling(1, cap) // every virtual tick
+	c := r.Counter("charm_samp_total", "h", nil, Traced())
+	g := r.Gauge("charm_samp_gauge", "h", nil, Traced())
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 1; i <= iters; i++ {
+				c.Inc(s)
+				g.Set(s, int64(i))
+				r.MaybeSample(int64(i))
+			}
+		}(s)
+	}
+	wg.Wait()
+	hist := r.History()
+	if len(hist) == 0 || len(hist) > cap {
+		t.Fatalf("history length %d, want 1..%d", len(hist), cap)
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i].T <= hist[i-1].T {
+			t.Fatalf("history out of order: T[%d]=%d, T[%d]=%d",
+				i-1, hist[i-1].T, i, hist[i].T)
+		}
+	}
+	// Every sample taken past the cap evicted exactly one snapshot.
+	taken := int64(len(hist)) + r.DroppedSamples()
+	if r.DroppedSamples() == 0 && taken > cap {
+		t.Errorf("took %d samples with cap %d but dropped none", taken, cap)
+	}
+	if c.Value() != shards*iters {
+		t.Errorf("counter = %d, want %d", c.Value(), shards*iters)
+	}
+}
+
+// --- Tracer mechanics ---
+
+// TestTracerRetainReleaseCompact: Compact must drop only the spans of
+// released (or ring-evicted) traces and keep retained ones intact.
+func TestTracerRetainReleaseCompact(t *testing.T) {
+	tr := NewTracer(2, 0)
+	tr.SetEnabled(true)
+	for id := TraceID(1); id <= 4; id++ {
+		tr.Emit(int(id)%2, Span{Trace: id, Kind: SpanTask, Start: int64(id), End: int64(id) + 1})
+	}
+	tr.Retain(1)
+	tr.Retain(2)
+	tr.Release(3)
+	tr.Release(4)
+	tr.Compact()
+	if got := len(tr.TraceOf(1).Spans) + len(tr.TraceOf(2).Spans); got != 2 {
+		t.Errorf("retained traces lost spans: %d left, want 2", got)
+	}
+	for _, id := range []TraceID{3, 4} {
+		if n := len(tr.TraceOf(id).Spans); n != 0 {
+			t.Errorf("released trace %d still has %d spans", id, n)
+		}
+	}
+	// A trace that is neither retained nor released survives compaction
+	// (it may still be in flight).
+	tr.Emit(0, Span{Trace: 9, Kind: SpanTask, Start: 9, End: 10})
+	tr.Compact()
+	if n := len(tr.TraceOf(9).Spans); n != 1 {
+		t.Errorf("in-flight trace compacted away (%d spans)", n)
+	}
+}
+
+// TestTracerRingEviction: retaining past the flight-recorder cap must
+// evict the oldest retained trace, which the next Compact reclaims.
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(1, 0)
+	tr.SetEnabled(true)
+	tr.SetFlightRecorderCap(2)
+	for id := TraceID(1); id <= 3; id++ {
+		tr.Emit(0, Span{Trace: id, Kind: SpanTask, Start: int64(id), End: int64(id) + 1})
+		tr.Retain(id)
+	}
+	ids := tr.RetainedIDs()
+	if len(ids) != 2 || tr.Retained(1) {
+		t.Fatalf("retained = %v, want [2 3] (oldest evicted)", ids)
+	}
+	tr.Compact()
+	if n := len(tr.TraceOf(1).Spans); n != 0 {
+		t.Errorf("evicted trace 1 still has %d spans after Compact", n)
+	}
+}
+
+// TestTracerShardOverflowDrops: a full shard must drop spans and count
+// them rather than grow or block.
+func TestTracerShardOverflowDrops(t *testing.T) {
+	tr := NewTracer(1, 4)
+	tr.SetEnabled(true)
+	for i := 0; i < 10; i++ {
+		tr.Emit(0, Span{Trace: 1, Kind: SpanTask, Start: int64(i), End: int64(i) + 1})
+	}
+	if got := tr.SpanCount(); got != 4 {
+		t.Errorf("span count = %d, want 4 (shard cap)", got)
+	}
+	if got := tr.DroppedSpans(); got != 6 {
+		t.Errorf("dropped = %d, want 6", got)
+	}
+}
+
+// TestTraceJSONCanonicalOrder: the exported document must not depend on
+// which shard a span landed in — only on the span set itself.
+func TestTraceJSONCanonicalOrder(t *testing.T) {
+	spans := []Span{
+		{Trace: 2, Kind: SpanStage, Start: 10, End: 30, Stage: 0, Arg: 4},
+		{Trace: 1, Kind: SpanTask, Start: 10, End: 20, Worker: 3},
+		{Trace: 1, Kind: SpanAdmitQueue, Start: 0, End: 10, Stage: -1},
+		{Trace: 0, Kind: SpanBreaker, Start: 15, End: 15, Arg: 1},
+	}
+	var docs [2]bytes.Buffer
+	for rev := 0; rev < 2; rev++ {
+		tr := NewTracer(3, 0)
+		tr.SetEnabled(true)
+		for i, s := range spans {
+			if rev == 1 {
+				s = spans[len(spans)-1-i]
+			}
+			tr.Emit((i*7)%3, s) // scatter across shards differently per pass
+		}
+		if err := tr.WriteJSON(&docs[rev]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(docs[0].Bytes(), docs[1].Bytes()) {
+		t.Errorf("trace JSON depends on emission order:\n%s\nvs\n%s",
+			docs[0].String(), docs[1].String())
+	}
+	if !strings.Contains(docs[0].String(), `"admit-queue"`) {
+		t.Errorf("span kinds not symbolic in JSON:\n%s", docs[0].String())
+	}
+}
+
+// --- SLO burn-rate tracker ---
+
+// TestSLOBurnRateWindows: the alert must fire only when both windows
+// exceed their thresholds, and clear once the fast window recovers.
+func TestSLOBurnRateWindows(t *testing.T) {
+	cfg := BurnConfig{SlotNS: 100, FastWindow: 500, SlowWindow: 3_000,
+		FastBurn: 10, SlowBurn: 5}
+	tr := NewSLOTracker(cfg)
+	tr.SetObjective(0, 0.99) // 1% budget: burn = badFraction * 100
+	now := int64(0)
+	record := func(n int, good bool) {
+		for i := 0; i < n; i++ {
+			now += 10
+			tr.Record(0, good, now)
+			tr.Evaluate(now)
+		}
+	}
+	record(100, true) // healthy baseline: burn 0
+	if alerts := tr.Alerts(); len(alerts) != 0 {
+		t.Fatalf("alerts on healthy traffic: %+v", alerts)
+	}
+	record(60, false) // 100% bad = burn 100 in both windows
+	alerts := tr.Alerts()
+	if len(alerts) == 0 || !alerts[0].Firing {
+		t.Fatalf("no alert after sustained bad traffic: %+v", alerts)
+	}
+	// Recovery: good traffic drains the fast window first; the alert must
+	// clear even while the slow window still remembers the bad era.
+	record(200, true)
+	alerts = tr.Alerts()
+	last := alerts[len(alerts)-1]
+	if last.Firing {
+		t.Fatalf("alert never cleared after recovery: %+v", alerts)
+	}
+	st := tr.Status(now)
+	if len(st) != 1 || st[0].Firing {
+		t.Errorf("status still firing after recovery: %+v", st)
+	}
+	if st[0].Good != 300 || st[0].Bad != 60 {
+		t.Errorf("lifetime good/bad = %d/%d, want 300/60", st[0].Good, st[0].Bad)
+	}
+}
+
+// TestSLOBurnUnreachableTarget: a class whose target leaves more budget
+// than the thresholds can ever burn must never fire.
+func TestSLOBurnUnreachableTarget(t *testing.T) {
+	tr := NewSLOTracker(BurnConfig{})
+	tr.SetObjective(1, 0.5) // burn caps at 1/(1-0.5) = 2 < both thresholds
+	now := int64(0)
+	for i := 0; i < 200; i++ {
+		now += 10_000
+		tr.Record(1, false, now)
+		tr.Evaluate(now)
+	}
+	if alerts := tr.Alerts(); len(alerts) != 0 {
+		t.Errorf("impossible alert fired: %+v", alerts)
+	}
+}
+
+// --- Critical-path analyzer on hand-built traces ---
+
+// TestAnalyzeSyntheticTrace checks the bucket math exactly: admit wait,
+// dispatch wait, compute, stall, and a retry window carved out of queue.
+func TestAnalyzeSyntheticTrace(t *testing.T) {
+	tr := Trace{ID: 5, Spans: []Span{
+		{Trace: 5, Kind: SpanAdmitQueue, Start: 100, End: 150, Stage: -1, Arg: 2},
+		// Stage 0: dispatch 150, barrier 450. Critical task started
+		// executing at 250 (100 queue+retry), ran 160 exec with 60 stall,
+		// finishing at 410; 40 ns of barrier tail goes back to queue.
+		{Trace: 5, Kind: SpanStage, Start: 150, End: 450, Stage: 0, Arg: 2},
+		{Trace: 5, Kind: SpanTask, Start: 150, End: 410, Stage: 0, Arg: 250, Arg2: 60},
+		{Trace: 5, Kind: SpanTask, Start: 150, End: 300, Stage: 0, Arg: 160, Arg2: 0},
+		// A 30 ns retry backoff window inside the critical task's wait.
+		{Trace: 5, Kind: SpanRetry, Start: 200, End: 230, Stage: 0, Arg: 1},
+	}}
+	b, ok := Analyze(tr)
+	if !ok {
+		t.Fatal("Analyze returned ok=false for a dispatched trace")
+	}
+	if b.Priority != 2 || b.Arrival != 100 || b.Finish != 450 || b.Total != 350 {
+		t.Fatalf("frame: %+v", b)
+	}
+	if b.AdmitQueue != 50 {
+		t.Errorf("AdmitQueue = %d, want 50", b.AdmitQueue)
+	}
+	// queue = (250-150) - 30 retry + 40 tail = 110
+	if b.DispatchQueue != 110 || b.Retry != 30 {
+		t.Errorf("DispatchQueue/Retry = %d/%d, want 110/30", b.DispatchQueue, b.Retry)
+	}
+	// compute = 410-250-60
+	if b.Compute != 100 || b.Stall != 60 {
+		t.Errorf("Compute/Stall = %d/%d, want 100/60", b.Compute, b.Stall)
+	}
+	if b.Unattributed != 0 || b.AttributedFraction() != 1 {
+		t.Errorf("unattributed %d (%.2f attributed)", b.Unattributed, b.AttributedFraction())
+	}
+}
+
+// TestAnalyzeShedTrace: a never-dispatched job is pure admit-queue time.
+func TestAnalyzeShedTrace(t *testing.T) {
+	tr := Trace{ID: 8, Spans: []Span{
+		{Trace: 8, Kind: SpanShed, Start: 1000, End: 1600, Stage: -1, Arg: 1},
+	}}
+	b, ok := Analyze(tr)
+	if ok {
+		t.Fatal("ok=true for a shed trace with no stages")
+	}
+	if b.Total != 600 || b.AdmitQueue != 600 || b.Unattributed != 0 {
+		t.Errorf("shed breakdown: %+v", b)
+	}
+	if b.Priority != 1 || b.Arrival != 1000 {
+		t.Errorf("shed frame: priority %d arrival %d", b.Priority, b.Arrival)
+	}
+}
