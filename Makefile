@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify fuzz-smoke bench trace metrics clean
+.PHONY: build test verify fuzz-smoke bench bench-smoke trace metrics clean
 
 build:
 	$(GO) build ./...
@@ -34,7 +34,17 @@ verify:
 	$(GO) test ./...
 	$(GO) test -race ./internal/obs/... ./internal/core/...
 	$(GO) test -race -run TestMachineAccessRaceStress ./internal/sim/
+	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke
+
+# bench-smoke compiles and runs every recorded benchmark for a fixed 10
+# iterations: it cannot produce numbers worth reading, but it catches a
+# benchmark that no longer builds, panics, or hangs before make bench (or
+# CI's nightly bench job) trips over it.
+bench-smoke:
+	$(GO) test ./internal/core/ -run xxx -bench . -benchtime 10x -benchmem
+	$(GO) test ./internal/sim/ -run xxx -bench BenchmarkMachineAccess -benchtime 10x -benchmem
+	$(GO) test ./internal/place/ -run xxx -bench BenchmarkPlacement -benchtime 10x -benchmem
 
 # FUZZTIME bounds each fuzz-smoke target; 15s x 4 targets keeps the CI
 # step ~1 minute while still churning fresh inputs past the saved corpus.
@@ -51,10 +61,16 @@ fuzz-smoke:
 
 # bench runs the tier-1 benchmarks (-benchmem) and records the simulator
 # access-path numbers (directory vs broadcast-scan) into
-# BENCH_directory.json and the placement decision-plane numbers into
-# BENCH_placement.json via cmd/benchjson.
+# BENCH_directory.json, the placement decision-plane numbers into
+# BENCH_placement.json, and the engine fast-path numbers — plus a measured
+# charm-bench wall clock via -time-cmd — into BENCH_engine.json, all via
+# cmd/benchjson.
 bench:
 	$(GO) test ./internal/core/ -run xxx -bench . -benchtime 1s -benchmem
+	$(GO) test ./internal/core/ -run xxx -bench BenchmarkEngine -benchtime 1s -benchmem \
+		| $(GO) run ./cmd/benchjson -o BENCH_engine.json \
+		-note "engine fast path on AMDMilan7713x2: epoch-batched access accounting (access/batch vs nobatch), pooled task structs (task) and coroutine stacks (coro); each pair is the same workload with the optimization toggled" \
+		-time-cmd "$(GO) run ./cmd/charm-bench all"
 	$(GO) test ./internal/sim/ -run xxx -bench BenchmarkMachineAccess -benchtime 1s -benchmem \
 		| $(GO) run ./cmd/benchjson -o BENCH_directory.json \
 		-note "Machine.Access: coherence directory (dir) vs broadcast L3 scan (scan), AMDMilan7713x2" \

@@ -295,6 +295,13 @@ type Config struct {
 	// runs with identical seeds and schedules produce bit-identical
 	// results, at the price of host parallelism.
 	Deterministic bool
+	// NoAccessBatch disables the engine's epoch-batched access fast path;
+	// simulated results are identical either way (see core.Options).
+	// Exists for equivalence tests and before/after benchmarks.
+	NoAccessBatch bool
+	// NoPooling disables task-struct and coroutine-stack recycling
+	// (allocation benchmarks and leak triage; see core.Options).
+	NoPooling bool
 }
 
 // validate rejects malformed numeric knobs with errors (a library must not
@@ -395,6 +402,8 @@ func Init(cfg Config) (*Runtime, error) {
 		o.RetryBackoff = cfg.RetryBackoff
 		o.StarvationDeadline = cfg.StarvationDeadline
 		o.Deterministic = cfg.Deterministic
+		o.NoAccessBatch = cfg.NoAccessBatch
+		o.NoPooling = cfg.NoPooling
 	}
 
 	m := sim.New(sim.Config{Topo: topo, SampleShift: cfg.SampleShift, MLP: cfg.MLP})

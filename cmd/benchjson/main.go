@@ -4,6 +4,7 @@
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchjson -o BENCH.json [-note "..."]
+//	    [-baseline OLD.json] [-time-cmd "go run ./cmd/charm-bench all"]
 //
 // The parser accepts the standard benchmark line format
 //
@@ -13,6 +14,12 @@
 // stays visible, and records goos/goarch/pkg context lines. Non-benchmark
 // lines are ignored. Exits non-zero if the input contains no benchmarks
 // (catches an accidentally filtered-out run).
+//
+// -baseline compares the run against a previously recorded document and
+// prints a per-benchmark ns/op and allocs/op delta table. -time-cmd runs a
+// shell command after the benches are parsed, wall-clocks it, and records
+// the measurement in the document's end_to_end field, so macro numbers in
+// checked-in records come from the machine, not from hand-edited notes.
 package main
 
 import (
@@ -21,8 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Bench is one parsed benchmark result line.
@@ -59,6 +68,8 @@ func main() {
 	out := flag.String("o", "", "write JSON to FILE (default stdout only)")
 	note := flag.String("note", "", "free-form note recorded in the document")
 	endToEnd := flag.String("end-to-end", "", "end-to-end measurement note recorded in the document")
+	baseline := flag.String("baseline", "", "compare against a prior BENCH_*.json and print per-bench deltas")
+	timeCmd := flag.String("time-cmd", "", "run CMD via the shell, record its wall time as the end_to_end measurement")
 	flag.Parse()
 
 	doc := Doc{Note: *note, EndToEnd: *endToEnd}
@@ -92,6 +103,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		printDeltas(*baseline, doc.Benches)
+	}
+	if *timeCmd != "" {
+		doc.EndToEnd = measureCmd(*timeCmd)
+		if *endToEnd != "" {
+			doc.EndToEnd += "; " + *endToEnd
+		}
+	}
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -110,6 +130,59 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benches to %s\n", len(doc.Benches), *out)
 	}
+}
+
+// printDeltas compares the parsed benches against a previously recorded
+// document and prints an aligned ns/op and allocs/op delta table. Benches
+// absent from the baseline print as new; baseline-only benches are ignored
+// (a narrowed -bench filter should not read as a regression).
+func printDeltas(path string, benches []Bench) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var old Doc
+	if err := json.Unmarshal(raw, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	prev := make(map[string]Bench, len(old.Benches))
+	for _, b := range old.Benches {
+		prev[b.Name] = b
+	}
+	fmt.Printf("\nbenchjson: deltas vs %s\n", path)
+	for _, b := range benches {
+		o, ok := prev[b.Name]
+		if !ok {
+			fmt.Printf("  %-48s %38s\n", b.Name,
+				fmt.Sprintf("(new) %.4g ns/op, %d allocs/op", b.NsPerOp, b.AllocsPerOp))
+			continue
+		}
+		speed := "" // ratio only when both sides are meaningful
+		if b.NsPerOp > 0 && o.NsPerOp > 0 {
+			speed = fmt.Sprintf(" (%.2fx)", o.NsPerOp/b.NsPerOp)
+		}
+		fmt.Printf("  %-48s %12.4g -> %-10.4g ns/op%-9s %4d -> %-4d allocs/op\n",
+			b.Name, o.NsPerOp, b.NsPerOp, speed, o.AllocsPerOp, b.AllocsPerOp)
+	}
+}
+
+// measureCmd runs cmd via the shell with output to stderr (stdout carries
+// the teed bench text) and returns the recorded wall-time measurement.
+func measureCmd(cmd string) string {
+	fmt.Fprintf(os.Stderr, "benchjson: timing %q\n", cmd)
+	c := exec.Command("sh", "-c", cmd)
+	c.Stdout = os.Stderr
+	c.Stderr = os.Stderr
+	start := time.Now()
+	err := c.Run()
+	wall := time.Since(start).Round(100 * time.Millisecond)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: time-cmd: %v\n", err)
+		os.Exit(1)
+	}
+	return fmt.Sprintf("%s: %s wall", cmd, wall)
 }
 
 // parseBench parses one "Benchmark... N metrics" line. Metrics come in

@@ -92,6 +92,26 @@ func (c *Cache) Lookup(line uint64, now int64) bool {
 	return false
 }
 
+// Touch is Lookup batched n times: on a hit it refreshes the LRU stamp with
+// now (the stamp of the batch's final access) and adds n to the hit
+// counter, leaving the array in exactly the state n consecutive Lookups at
+// increasing times ending at now would have. It returns false — recording
+// nothing — when the line is absent, so a caller batching repeat accesses
+// can detect a concurrent invalidation and fall back to per-access replay.
+func (c *Cache) Touch(line uint64, now int64, n int64) bool {
+	tag := line + 1
+	base := c.setOf(line) * c.ways
+	for i := 0; i < c.ways; i++ {
+		w := &c.sets[base+i]
+		if w.tag.Load() == tag {
+			w.use.Store(now)
+			c.hits.Add(n)
+			return true
+		}
+	}
+	return false
+}
+
 // Contains probes for line without touching LRU state or hit statistics.
 func (c *Cache) Contains(line uint64) bool {
 	tag := line + 1

@@ -9,13 +9,24 @@ import (
 // goroutine and the coroutine goroutine hand control back and forth over
 // unbuffered channels, so exactly one of them runs at a time and the
 // worker's virtual clock is always owned by the running side.
+//
+// Stacks are pooled: the goroutine is a loop over a work channel, so a
+// terminal task parks it there and the worker can hand it the next
+// coroutine task without paying goroutine creation and stack growth again.
+// The worker re-zeroes the coroutine's Ctx before each work send, and the
+// send's happens-before edge publishes it to the stack goroutine.
 type coroutine struct {
 	ctx *Ctx
+	// work hands the next task worker -> parked goroutine; closing it
+	// retires the goroutine.
+	work chan *Task
 	// resume carries control worker -> coroutine.
 	resume chan struct{}
 	// status carries control coroutine -> worker; true = yielded,
 	// false = finished.
-	status  chan bool
+	status chan bool
+	// started marks a task mid-flight on this stack (set at first
+	// dispatch, cleared when the stack is recycled). Worker-side only.
 	started bool
 }
 
@@ -31,15 +42,70 @@ func (co *coroutine) yield() {
 	}
 }
 
+// run is the stack goroutine's work loop: execute each task handed over
+// the work channel and report its completion. A panic is attributed to the
+// worker bound to the coroutine at dispatch and handed back over the
+// status channel; the worker goroutine decides between retry and failure.
+func (co *coroutine) run() {
+	for t := range co.work {
+		ctx := co.ctx
+		t.err = ctx.w.runTaskRecovered(t, func() {
+			defer ctx.flushBatch()
+			t.fn(ctx)
+		})
+		co.status <- false
+	}
+}
+
+// getCoroutine hands t a stack, reusing a pooled one when available. A
+// pooled coroutine's goroutine is parked at its work loop; its Ctx is
+// re-zeroed for the new task here, before the work send publishes it.
+func (w *Worker) getCoroutine(t *Task) *coroutine {
+	if n := len(w.coPool); n > 0 {
+		co := w.coPool[n-1]
+		w.coPool[n-1] = nil
+		w.coPool = w.coPool[:n-1]
+		*co.ctx = Ctx{w: w, task: t, co: co}
+		return co
+	}
+	co := &coroutine{
+		work:   make(chan *Task),
+		resume: make(chan struct{}),
+		status: make(chan bool),
+	}
+	co.ctx = &Ctx{w: w, task: t, co: co}
+	go co.run()
+	return co
+}
+
+// putCoroutine recycles a terminal coroutine: the goroutine is parked back
+// at its work loop, ready for the next task. Over the pool cap (or with
+// pooling disabled) the work channel is closed instead, letting the
+// goroutine exit.
+func (w *Worker) putCoroutine(co *coroutine) {
+	co.started = false
+	if w.rt.pool && len(w.coPool) < coPoolCap {
+		co.ctx.task = nil // don't pin the (possibly recycled) task struct
+		w.coPool = append(w.coPool, co)
+		return
+	}
+	close(co.work)
+}
+
+// closeCoPool retires the worker's idle pooled stack goroutines (worker
+// shutdown).
+func (w *Worker) closeCoPool() {
+	for _, co := range w.coPool {
+		close(co.work)
+	}
+	w.coPool = nil
+}
+
 // runCoroutine starts or resumes a coroutine task and processes its next
 // suspension or completion. Called from the worker goroutine.
 func (w *Worker) runCoroutine(t *Task) {
 	if t.co == nil {
-		t.co = &coroutine{
-			resume: make(chan struct{}),
-			status: make(chan bool),
-		}
-		t.co.ctx = &Ctx{w: w, task: t, co: t.co}
+		t.co = w.getCoroutine(t)
 	}
 	co := t.co
 	// Rebind the coroutine to this worker: after a steal the task now
@@ -50,13 +116,7 @@ func (w *Worker) runCoroutine(t *Task) {
 
 	if !co.started {
 		co.started = true
-		go func() {
-			// A panic is attributed to the worker currently bound to the
-			// coroutine and handed back over the status channel; the
-			// worker goroutine decides between retry and failure.
-			t.err = co.ctx.w.runTaskRecovered(t, func() { t.fn(co.ctx) })
-			co.status <- false
-		}()
+		co.work <- t
 	} else {
 		co.resume <- struct{}{}
 	}
@@ -67,8 +127,14 @@ func (w *Worker) runCoroutine(t *Task) {
 		w.deque.Push(t)
 		return
 	}
-	if err := t.err; err != nil {
-		t.err = nil
+	// Terminal (success, failure, or cancel-unwind): the stack goroutine
+	// is parked back at its work loop. Detach and recycle it before the
+	// task's lifecycle accounting, which may free the task struct.
+	err := t.err
+	t.err = nil
+	t.co = nil
+	w.putCoroutine(co)
+	if err != nil {
 		if t.jobCancelled() {
 			// A cancelled job's coroutine unwound (or failed): discard, do
 			// not spend retries or a fresh stack on a dead job.

@@ -19,6 +19,8 @@ type Ctx struct {
 	w    *Worker
 	task *Task
 	co   *coroutine
+	// bat is the pending run of deferred repeat accesses (fastpath.go).
+	bat accessBatch
 }
 
 // Worker returns the executing worker's ID. For coroutines this can change
@@ -30,36 +32,29 @@ func (c *Ctx) CoreID() topology.CoreID { return c.w.Core() }
 
 // Chiplet returns the chiplet of the executing core.
 func (c *Ctx) Chiplet() topology.ChipletID {
-	return c.w.rt.M.Topo.ChipletOf(c.w.Core())
+	return c.w.fastState(c.w.clock.Now()).chiplet
 }
 
-// Now returns the task's current virtual time.
-func (c *Ctx) Now() int64 { return c.w.clock.Now() }
+// Now returns the task's current virtual time. Reading the clock settles
+// any deferred repeat accesses first, so the time observed includes every
+// access the task has issued.
+func (c *Ctx) Now() int64 {
+	c.flushBatch()
+	return c.w.clock.Now()
+}
 
 // Runtime returns the owning runtime.
 func (c *Ctx) Runtime() *Runtime { return c.w.rt }
 
 // advance adds cost to the worker clock, inflated by core occupancy when
-// several workers share one physical core. Up to the core's SMT width the
-// sharing is hyperthreading: each sibling runs at reduced speed (~40%
-// mutual slowdown, the L1/L2 contention §4.6 says CHARM avoids); beyond
-// that it is timesharing, which serializes.
+// several workers share one physical core (up to the core's SMT width the
+// sharing is hyperthreading, beyond it timesharing) and by the chiplet's
+// thermal-throttle factor. The factors come from the worker's placement
+// cache (fastpath.go), which reloads only when the placement epoch moves
+// or the clock crosses a thermal segment boundary.
 func (c *Ctx) advance(cost int64) {
-	if occ := c.w.rt.coreOcc[c.w.Core()].Load(); occ > 1 {
-		if int(occ) <= c.w.rt.M.Topo.SMT() {
-			cost = cost * (10 + 4*int64(occ-1)) / 10
-		} else {
-			cost *= int64(occ)
-		}
-	}
-	if p := c.w.rt.opts.Faults; p != nil {
-		// Thermal throttling stretches every cycle the chiplet executes.
-		ch := c.w.rt.M.Topo.ChipletOf(c.w.Core())
-		if m := p.ThermalMilli(ch, c.w.clock.Now()); m > 1000 {
-			cost = cost * m / 1000
-		}
-	}
-	c.w.clock.Advance(cost)
+	w := c.w
+	w.clock.Advance(w.fastState(w.clock.Now()).inflate(cost))
 }
 
 // stall charges an access cost and accumulates it into the task's stall
@@ -73,18 +68,19 @@ func (c *Ctx) stall(cost int64) {
 
 // Read simulates reading [addr, addr+size).
 func (c *Ctx) Read(addr mem.Addr, size int64) {
-	c.stall(c.w.rt.M.Access(c.w.Core(), c.w.clock.Now(), addr, size, false))
+	c.access(addr, size, false)
 }
 
 // Write simulates writing [addr, addr+size).
 func (c *Ctx) Write(addr mem.Addr, size int64) {
-	c.stall(c.w.rt.M.Access(c.w.Core(), c.w.clock.Now(), addr, size, true))
+	c.access(addr, size, true)
 }
 
 // RMW simulates an atomic read-modify-write on [addr, addr+size): a read, a
 // write, and the intra-chiplet CAS cost (crossing-chiplet cost emerges from
 // the coherence model when the line is held elsewhere).
 func (c *Ctx) RMW(addr mem.Addr, size int64) {
+	c.flushBatch()
 	core, now := c.w.Core(), c.w.clock.Now()
 	cost := c.w.rt.M.Access(core, now, addr, size, false)
 	cost += c.w.rt.M.Access(core, now+cost, addr, size, true)
@@ -93,7 +89,10 @@ func (c *Ctx) RMW(addr mem.Addr, size int64) {
 }
 
 // Compute charges ns nanoseconds of pure CPU work.
-func (c *Ctx) Compute(ns int64) { c.advance(ns) }
+func (c *Ctx) Compute(ns int64) {
+	c.flushBatch()
+	c.advance(ns)
+}
 
 // Alloc reserves simulated memory bound to the worker's current NUMA node
 // (the allocation policy Alg. 2 maintains). The worker remembers its
@@ -110,6 +109,7 @@ func (c *Ctx) Alloc(size int64) mem.Addr {
 // later — possibly on a different worker and chiplet. In a run-to-completion
 // task it is only a scheduling check point (the Alg. 1 timer).
 func (c *Ctx) Yield() {
+	c.flushBatch()
 	if c.co == nil {
 		if c.task != nil && c.task.jobCancelled() {
 			// Cooperative cancellation point: unwind the task body; the
@@ -131,7 +131,8 @@ func (c *Ctx) Yield() {
 // Spawn schedules fn as a new task in the same completion group, on the
 // current worker's deque (stealable, so load balancing distributes it).
 func (c *Ctx) Spawn(fn func(*Ctx)) {
-	t := c.w.rt.newTask(fn, c.task.grp, c.w.clock.Now(), false, c.w.id)
+	c.flushBatch()
+	t := c.w.newTask(fn, c.task.grp, c.w.clock.Now(), false, c.w.id)
 	t.job = c.task.job
 	t.stage = c.task.stage
 	c.task.grp.add(1)
@@ -141,7 +142,8 @@ func (c *Ctx) Spawn(fn func(*Ctx)) {
 
 // SpawnCo schedules fn as a coroutine task (suspendable via Yield).
 func (c *Ctx) SpawnCo(fn func(*Ctx)) {
-	t := c.w.rt.newTask(fn, c.task.grp, c.w.clock.Now(), true, c.w.id)
+	c.flushBatch()
+	t := c.w.newTask(fn, c.task.grp, c.w.clock.Now(), true, c.w.id)
 	t.job = c.task.job
 	t.stage = c.task.stage
 	c.task.grp.add(1)
@@ -153,6 +155,7 @@ func (c *Ctx) SpawnCo(fn func(*Ctx)) {
 // call_async RPC of the CHARM API). The message pays the fabric latency
 // between the two workers' cores.
 func (c *Ctx) CallAsync(target int, fn func(*Ctx)) {
+	c.flushBatch()
 	rt := c.w.rt
 	if target < 0 || target >= len(rt.workers) {
 		panic(fmt.Sprintf("core: CallAsync target %d out of range", target))
@@ -163,7 +166,7 @@ func (c *Ctx) CallAsync(target int, fn func(*Ctx)) {
 	// carried by the task's start stamp.
 	c.advance(rt.M.Topo.Cost.StealPenalty)
 	delay := rt.M.Fabric.MessageDelay(c.w.Core(), tw.Core(), c.w.clock.Now(), 64)
-	t := rt.newTask(fn, c.task.grp, c.w.clock.Now()+delay, false, target)
+	t := c.w.newTask(fn, c.task.grp, c.w.clock.Now()+delay, false, target)
 	t.pinned = true
 	t.job = c.task.job
 	t.stage = c.task.stage
@@ -179,6 +182,7 @@ func (c *Ctx) CallAsync(target int, fn func(*Ctx)) {
 // a worker's own ID runs fn inline. From a run-to-completion task, Call on
 // another worker spins the host thread; prefer coroutines for heavy RPC use.
 func (c *Ctx) Call(target int, fn func(*Ctx)) {
+	c.flushBatch()
 	rt := c.w.rt
 	if target == c.w.id {
 		fn(c)
@@ -197,7 +201,7 @@ func (c *Ctx) Call(target int, fn func(*Ctx)) {
 	var done atomic.Bool
 	var finish atomic.Int64
 	g := &callGroup{done: &done, finish: &finish}
-	t := rt.newTask(fn, nil, c.w.clock.Now()+sendDelay, false, target)
+	t := c.w.newTask(fn, nil, c.w.clock.Now()+sendDelay, false, target)
 	t.pinned = true
 	t.grp = nil
 	t.onDone = g
@@ -256,6 +260,7 @@ type callGroup struct {
 // primitive of the CHARM API. Use one task per worker (AllDo) to avoid
 // starving the barrier.
 func (c *Ctx) Barrier(b *RtBarrier) {
+	c.flushBatch()
 	if ls := c.w.rt.ls; ls != nil && c.co == nil {
 		// Deterministic mode: register the arrival, then hand the turn
 		// away until the last party closes the generation.
@@ -273,12 +278,15 @@ func (c *Ctx) Barrier(b *RtBarrier) {
 }
 
 // Fills returns the executing core's cumulative fills-from-system counter —
-// the per-task profiling view of §4.5.
+// the per-task profiling view of §4.5. Reading a PMU counter settles any
+// deferred repeat accesses so their fills are visible.
 func (c *Ctx) Fills() int64 {
+	c.flushBatch()
 	return c.w.rt.M.PMU.FillsFromSystem(int(c.w.Core()))
 }
 
 // Event reads an arbitrary PMU counter of the executing core.
 func (c *Ctx) Event(e pmu.Event) int64 {
+	c.flushBatch()
 	return c.w.rt.M.PMU.Read(int(c.w.Core()), e)
 }

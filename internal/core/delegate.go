@@ -56,6 +56,7 @@ func (c *Ctx) DelegateBatch(addrs []mem.Addr, fns []func(*Ctx)) {
 	if len(addrs) != len(fns) {
 		panic("core: DelegateBatch length mismatch")
 	}
+	c.flushBatch()
 	rt := c.w.rt
 	type batch struct {
 		fns []func(*Ctx)
@@ -78,7 +79,7 @@ func (c *Ctx) DelegateBatch(addrs []mem.Addr, fns []func(*Ctx)) {
 		c.advance(rt.M.Topo.Cost.StealPenalty)
 		delay := rt.M.Fabric.MessageDelay(c.w.Core(), tw.Core(), c.w.clock.Now(),
 			64+int64(len(fns))*16)
-		t := rt.newTask(func(ctx *Ctx) {
+		t := c.w.newTask(func(ctx *Ctx) {
 			for _, fn := range fns {
 				fn(ctx)
 			}

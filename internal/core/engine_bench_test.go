@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"charm/internal/sim"
+	"charm/internal/topology"
+)
+
+// BenchmarkEngine gates the engine fast path (fastpath.go): each pair runs
+// the identical workload with the optimization on and off, so the recorded
+// BENCH_engine.json carries its own before/after. The access pair is the
+// per-access microbench the PR's >=1.5x target applies to; the task and
+// coro pairs are about allocs/op (run with -benchmem).
+func BenchmarkEngine(b *testing.B) {
+	engineRT := func(b *testing.B, workers int, opts Options) *Runtime {
+		b.Helper()
+		opts.Workers = workers
+		opts.SchedulerTimer = 1 << 60
+		m := sim.New(sim.Config{Topo: topology.AMDMilan7713x2().Scaled(256)})
+		rt := NewRuntime(m, opts)
+		rt.Start()
+		b.Cleanup(rt.Stop)
+		return rt
+	}
+
+	// Hot-line reads on one worker: with batching each repeat is a compare
+	// and an increment; without it each repeat walks the full machine
+	// access path (placement lookup, cache probe, PMU, EWMA).
+	access := func(b *testing.B, noBatch bool) {
+		rt := engineRT(b, 1, Options{NoAccessBatch: noBatch})
+		a := rt.M.Space.AllocLocal(64, 0)
+		rt.Run(func(ctx *Ctx) { ctx.Read(a, 64) }) // warm the line
+		b.ResetTimer()
+		rt.Run(func(ctx *Ctx) {
+			for i := 0; i < b.N; i++ {
+				ctx.Read(a, 64)
+			}
+		})
+	}
+	b.Run("access/batch", func(b *testing.B) { access(b, false) })
+	b.Run("access/nobatch", func(b *testing.B) { access(b, true) })
+
+	// Task lifecycle: spawn-execute-finish in rounds of 64 on one worker,
+	// so every round after the first draws its task structs from the
+	// free list a prior round refilled (the steady state of a spawn-heavy
+	// workload). Pooling turns the per-task allocation into a list pop.
+	task := func(b *testing.B, noPool bool) {
+		rt := engineRT(b, 1, Options{NoPooling: noPool})
+		rt.Run(func(ctx *Ctx) { // warm the pool
+			for i := 0; i < 64; i++ {
+				ctx.Spawn(func(c *Ctx) {})
+			}
+		})
+		b.ResetTimer()
+		for done := 0; done < b.N; done += 64 {
+			n := 64
+			if rest := b.N - done; rest < n {
+				n = rest
+			}
+			rt.Run(func(ctx *Ctx) {
+				for i := 0; i < n; i++ {
+					ctx.Spawn(func(c *Ctx) {})
+				}
+			})
+		}
+	}
+	b.Run("task/pool", func(b *testing.B) { task(b, false) })
+	b.Run("task/nopool", func(b *testing.B) { task(b, true) })
+
+	// Coroutine lifecycle: each op is one suspendable task (goroutine
+	// stack dispatch, one yield-resume, terminal recycle). Pooling parks
+	// the stack goroutine instead of creating one per task.
+	coro := func(b *testing.B, noPool bool) {
+		rt := engineRT(b, 1, Options{NoPooling: noPool})
+		fns := make([]func(*Ctx), 256)
+		for i := range fns {
+			fns[i] = func(ctx *Ctx) {
+				ctx.Compute(100)
+				ctx.Yield()
+			}
+		}
+		b.ResetTimer()
+		for done := 0; done < b.N; done += len(fns) {
+			n := len(fns)
+			if rest := b.N - done; rest < n {
+				n = rest
+			}
+			rt.submitWait(fns[:n], false, true)
+		}
+	}
+	b.Run("coro/pool", func(b *testing.B) { coro(b, false) })
+	b.Run("coro/nopool", func(b *testing.B) { coro(b, true) })
+}

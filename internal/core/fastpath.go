@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+
+	"charm/internal/cache"
+	"charm/internal/mem"
+	"charm/internal/topology"
+)
+
+// This file is the engine fast path: per-worker caching of placement
+// invariants and epoch-batching of repeat memory accesses. Both exist to
+// strip per-access bookkeeping off Ctx.Read/Write without changing a single
+// simulated cost — DESIGN.md §4.16 derives the equivalence argument, and
+// TestBatchingReplayBitIdentical holds it to bit-identical Deterministic
+// replays.
+//
+// Placement cache: everything Ctx.advance needs — the worker's chiplet, the
+// core-occupancy inflation factor, and the fault plan's current thermal
+// step-function segment — is a pure function of (placement epoch, thermal
+// segment). The cache is rebuilt only when the runtime's placeEpoch moves
+// (any placeOn/Migrate in the fleet) or the worker's clock crosses the
+// cached segment boundary, so the steady state costs one atomic load and
+// two compares instead of an occupancy load, a chiplet division, and a
+// step-function binary search per access.
+//
+// Access batching: consecutive accesses to the same line with the same size
+// and direction are guaranteed hits with a time-invariant per-access cost
+// (hit latencies take no token-bucket charge), so Ctx defers them as a
+// count and settles the whole run in one Machine.AccessRepeat at the next
+// flush point — Yield, barrier, clock read, a different access, task end,
+// or the batch cap. Flush points are exactly the points where other workers
+// (in Deterministic lockstep) or the scheduler can observe engine state, so
+// deferral is invisible. When the cached thermal segment would expire
+// mid-batch, or the line was concurrently invalidated (parallel mode only),
+// the flush replays the deferred accesses one by one, which is the exact
+// unbatched path.
+
+// batchMaxRepeats caps how many repeats defer before a forced flush: it
+// bounds both the virtual-clock skew other workers can observe in parallel
+// mode and the worst-case replay length on a fallback.
+const batchMaxRepeats = 1 << 12
+
+// placeFast is the cached per-placement state; owner-goroutine access only.
+type placeFast struct {
+	// epoch is the runtime placeEpoch the cache was built at (-1 = never).
+	epoch   int64
+	chiplet topology.ChipletID
+	// occMul/occDiv is the core-occupancy cost inflation (1/1 when the
+	// worker has its core to itself).
+	occMul int64
+	occDiv int64
+	// thermMilli is the chiplet's thermal factor, valid for clock times
+	// before thermUntil.
+	thermMilli int64
+	thermUntil int64
+}
+
+// fastState returns the placement cache, rebuilding it when the placement
+// epoch moved or now crossed the cached thermal segment boundary.
+func (w *Worker) fastState(now int64) *placeFast {
+	f := &w.fast
+	if ep := w.rt.placeEpoch.Load(); ep != f.epoch || now >= f.thermUntil {
+		w.reloadFast(ep, now)
+	}
+	return f
+}
+
+// reloadFast rebuilds the placement cache from the live engine state,
+// replicating Ctx.advance's historical per-access computation exactly.
+func (w *Worker) reloadFast(epoch, now int64) {
+	f := &w.fast
+	core := w.Core()
+	topo := w.rt.M.Topo
+	f.epoch = epoch
+	f.chiplet = topo.ChipletOf(core)
+	f.occMul, f.occDiv = 1, 1
+	if occ := w.rt.coreOcc[core].Load(); occ > 1 {
+		if int(occ) <= topo.SMT() {
+			// Hyperthread sharing: ~40% mutual slowdown per sibling.
+			f.occMul, f.occDiv = 10+4*int64(occ-1), 10
+		} else {
+			// Beyond SMT width it is timesharing, which serializes.
+			f.occMul, f.occDiv = int64(occ), 1
+		}
+	}
+	f.thermMilli, f.thermUntil = 1000, math.MaxInt64
+	if p := w.rt.opts.Faults; p != nil {
+		f.thermMilli, f.thermUntil = p.ThermalSegment(f.chiplet, now)
+	}
+}
+
+// inflate applies the cached occupancy and thermal factors to a raw cost,
+// in the same order and integer arithmetic as the uncached path.
+func (f *placeFast) inflate(cost int64) int64 {
+	if f.occMul != 1 {
+		cost = cost * f.occMul / f.occDiv
+	}
+	if f.thermMilli > 1000 {
+		cost = cost * f.thermMilli / 1000
+	}
+	return cost
+}
+
+// accessBatch is the pending repeat-access run of one Ctx.
+type accessBatch struct {
+	line  uint64
+	addr  mem.Addr
+	size  int64
+	cost  int64 // per-repeat raw machine cost (pre-inflation)
+	n     int64 // deferred repeats not yet charged
+	write bool
+	valid bool // a seed access established the repeat cost
+}
+
+// access routes one simulated memory access: extend the pending batch when
+// it repeats the previous access, otherwise settle the batch and take the
+// full machine path, seeding a new batch for potential repeats.
+func (c *Ctx) access(addr mem.Addr, size int64, write bool) {
+	b := &c.bat
+	if b.valid && b.line == uint64(addr)>>cache.LineShift && size == b.size && write == b.write {
+		b.n++
+		if b.n >= batchMaxRepeats {
+			c.flushBatch()
+		}
+		return
+	}
+	c.flushBatch()
+	w := c.w
+	c.stall(w.rt.M.Access(w.Core(), w.clock.Now(), addr, size, write))
+	if !w.rt.batch {
+		return
+	}
+	if rc, ok := w.rt.M.RepeatCost(w.Core(), addr, size); ok {
+		*b = accessBatch{
+			line: uint64(addr) >> cache.LineShift, addr: addr, size: size,
+			cost: rc, write: write, valid: true,
+		}
+	}
+}
+
+// flushBatch settles the deferred repeat accesses. The batched fast path
+// applies when the cached thermal segment covers the whole span and the
+// line is still resident; otherwise the repeats replay individually, which
+// is the exact unbatched computation.
+func (c *Ctx) flushBatch() {
+	b := &c.bat
+	n := b.n
+	if n == 0 {
+		// The seed still dies with the flush: a flush point may hand
+		// control elsewhere (yield, RPC), after which the seed's cached
+		// repeat cost could describe a core this task no longer runs on.
+		b.valid = false
+		return
+	}
+	b.n, b.valid = 0, false
+	w := c.w
+	now := w.clock.Now()
+	f := w.fastState(now)
+	d := f.inflate(b.cost)
+	last := now + (n-1)*d // clock at the final repeat's charge point
+	if last < f.thermUntil &&
+		w.rt.M.AccessRepeat(w.Core(), last, b.addr, b.size, b.write, n) {
+		if c.task != nil {
+			c.task.stallNS += n * b.cost
+		}
+		w.clock.Advance(n * d)
+		return
+	}
+	for i := int64(0); i < n; i++ {
+		c.stall(w.rt.M.Access(w.Core(), w.clock.Now(), b.addr, b.size, b.write))
+	}
+}

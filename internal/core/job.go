@@ -1169,16 +1169,20 @@ func (w *Worker) discardCancelled(t *Task) {
 		t.onDone.finish.Store(now)
 		t.onDone.done.Store(true)
 	}
+	// Terminal: the discard is the task's last lifecycle event.
+	w.freeTask(t)
 }
 
 // unwindCancelled resumes a started coroutine of a cancelled job so its
-// Yield observes the flag and unwinds; the goroutine (and its stack) is
-// released. The worker then discards the task.
+// Yield observes the flag and unwinds; the stack goroutine parks back at
+// its work loop and is recycled. The worker then discards the task.
 func (w *Worker) unwindCancelled(t *Task) {
 	co := t.co
 	co.ctx.w = w
 	co.resume <- struct{}{}
 	<-co.status // always false: yield panics cancelUnwind on resume
 	t.err = nil
+	t.co = nil
+	w.putCoroutine(co)
 	w.discardCancelled(t)
 }

@@ -107,6 +107,16 @@ type Options struct {
 	// lockstep.go): runs become bit-identical across repetitions at the
 	// price of host parallelism.
 	Deterministic bool
+	// NoAccessBatch disables the epoch-batched access fast path
+	// (fastpath.go): every Ctx.Read/Write takes the full per-access machine
+	// path. The two modes produce identical simulated results (the
+	// equivalence tests assert it); the knob exists for those tests and the
+	// before/after benchmarks.
+	NoAccessBatch bool
+	// NoPooling disables task-struct and coroutine-stack recycling: every
+	// task allocates fresh. Exists for allocation benchmarks and leak
+	// triage; behaviour is identical either way.
+	NoPooling bool
 }
 
 // Stats summarizes one phase or run.
@@ -168,6 +178,10 @@ type Runtime struct {
 
 	// ls serializes workers when Options.Deterministic is set (else nil).
 	ls *lockstep
+
+	// batch/pool mirror the (inverted) Options knobs for the hot paths.
+	batch bool
+	pool  bool
 }
 
 // NewRuntime builds a runtime on machine m. It panics on invalid options
@@ -240,6 +254,8 @@ func NewRuntime(m *sim.Machine, opts Options) *Runtime {
 		coreOcc:      make([]atomic.Int32, m.Topo.NumCores()),
 		ranks:        place.NewRanks(m.Topo),
 		prof:         NewProfiler(),
+		batch:        !opts.NoAccessBatch,
+		pool:         !opts.NoPooling,
 	}
 	// The observability layer: a per-worker-sharded registry covering the
 	// runtime and the whole simulated machine, attached to the profiler

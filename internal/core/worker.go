@@ -65,10 +65,32 @@ type Worker struct {
 	settleUntil int64
 
 	rng uint64
+
+	// fast caches the per-placement cost factors Ctx.advance needs
+	// (fastpath.go). Owner-goroutine access only.
+	fast placeFast
+
+	// runCtx is the reused execution context for run-to-completion tasks:
+	// one worker executes at most one such task at a time, so the Ctx never
+	// needs to outlive execute().
+	runCtx Ctx
+
+	// taskPool and coPool recycle finished Task structs and idle coroutine
+	// stacks (goroutine + channels + Ctx). Owner-goroutine access only;
+	// recycled objects are fully re-zeroed before reuse.
+	taskPool []*Task
+	coPool   []*coroutine
 }
 
+// taskPoolCap and coPoolCap bound the per-worker free lists so a spiky
+// phase cannot pin an unbounded object graph.
+const (
+	taskPoolCap = 256
+	coPoolCap   = 64
+)
+
 func newWorker(rt *Runtime, id int) *Worker {
-	return &Worker{
+	w := &Worker{
 		id:         id,
 		rt:         rt,
 		deque:      task.NewDeque[Task](256),
@@ -76,6 +98,35 @@ func newWorker(rt *Runtime, id int) *Worker {
 		spreadRate: 1,
 		rng:        uint64(id)*0x9E3779B97F4A7C15 + 1,
 	}
+	w.fast.epoch = -1 // force the first placement-cache load
+	return w
+}
+
+// newTask is Runtime.newTask fed from the worker's free list. Task IDs
+// still come from the runtime-global sequence, so pooling never perturbs
+// deterministic-mode identities.
+func (w *Worker) newTask(fn func(*Ctx), g *group, stamp int64, coro bool, home int) *Task {
+	if n := len(w.taskPool); n > 0 {
+		t := w.taskPool[n-1]
+		w.taskPool[n-1] = nil
+		w.taskPool = w.taskPool[:n-1]
+		*t = Task{id: w.rt.taskSeq.Add(1), fn: fn, grp: g, stamp: stamp, coro: coro, home: home, startT: -1}
+		return t
+	}
+	return w.rt.newTask(fn, g, stamp, coro, home)
+}
+
+// freeTask returns a terminal task (finished or discarded — never a retry,
+// which stays queued) to the free list, fully re-zeroed so no lifecycle
+// state can leak into its next incarnation. Tasks still bound to a
+// coroutine are never freed here: the coroutine path detaches the stack
+// first.
+func (w *Worker) freeTask(t *Task) {
+	if !w.rt.pool || t.co != nil || len(w.taskPool) >= taskPoolCap {
+		return
+	}
+	*t = Task{}
+	w.taskPool = append(w.taskPool, t)
 }
 
 // ID returns the worker's unique ID (Alg. 2's unique_worker_ID).
@@ -164,6 +215,7 @@ func (w *Worker) FillsSinceDecision() int64 {
 func (w *Worker) loop() {
 	defer w.rt.wg.Done()
 	defer w.turnExit()
+	defer w.closeCoPool()
 	idle := 0
 	for !w.rt.stop.Load() {
 		w.turnAcquire()
@@ -360,8 +412,13 @@ func (w *Worker) execute(t *Task) {
 	if t.coro {
 		w.runCoroutine(t)
 	} else {
-		ctx := &Ctx{w: w, task: t}
-		if err := w.runTaskRecovered(t, func() { t.fn(ctx) }); err != nil {
+		// Run-to-completion tasks share the worker's one reused Ctx (a
+		// worker executes at most one at a time); the deferred flush
+		// settles any deferred repeat accesses even on a panic unwind, so
+		// retried and cancelled tasks keep their charges.
+		ctx := &w.runCtx
+		*ctx = Ctx{w: w, task: t}
+		if err := w.runTaskRecovered(t, func() { defer ctx.flushBatch(); t.fn(ctx) }); err != nil {
 			if t.jobCancelled() {
 				// Cancellation propagates through the retry path: the
 				// unwind (or a coincident failure) of a cancelled job's
@@ -422,6 +479,8 @@ func (w *Worker) finishTask(t *Task) {
 		t.onDone.finish.Store(now)
 		t.onDone.done.Store(true)
 	}
+	// Terminal: nothing references the task past its completion signals.
+	w.freeTask(t)
 }
 
 // maybeTick runs the policy's periodic decision (Alg. 1's entry condition:

@@ -211,6 +211,31 @@ func buildSteps(wins []win) []step {
 	return out
 }
 
+// segmentAt evaluates a step function and additionally reports how long its
+// answer stays valid: the milli-factor in effect at t and the first virtual
+// time >= t at which the factor may change (Forever when no later step
+// exists). Callers can cache the factor until that boundary instead of
+// re-running the binary search per query.
+func segmentAt(steps []step, t int64) (milli, until int64) {
+	lo, hi := 0, len(steps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if steps[mid].t <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	until = Forever
+	if lo < len(steps) {
+		until = steps[lo].t
+	}
+	if lo == 0 {
+		return 1000, until
+	}
+	return steps[lo-1].milli, until
+}
+
 // milliAt evaluates a step function: the milli-factor in effect at t.
 func milliAt(steps []step, t int64) int64 {
 	// Most resources have no faults; most faulted ones have few steps, so a
@@ -347,4 +372,16 @@ func (p *Plan) ThermalMilli(ch topology.ChipletID, t int64) int64 {
 		return 1000
 	}
 	return milliAt(p.therm[ch], t)
+}
+
+// ThermalSegment returns the compute-slowdown factor for chiplet ch at t
+// together with the first virtual time >= t at which the factor may change
+// (Forever when it never does). The pair describes one segment of the
+// compiled step function, so hot paths can cache the factor and re-query
+// only at segment boundaries.
+func (p *Plan) ThermalSegment(ch topology.ChipletID, t int64) (milli, until int64) {
+	if p == nil || int(ch) >= len(p.therm) {
+		return 1000, Forever
+	}
+	return segmentAt(p.therm[ch], t)
 }

@@ -16,11 +16,52 @@ const DefaultWindowNS = 10_000
 
 const numWindows = 64
 
-// bucketSlot is one accounting window. id identifies which absolute window
-// the slot currently represents; used is the byte count charged into it.
+// Slot state packs the window identity and its byte count into one word so
+// recycling a slot for a new window and charging bytes into it are a single
+// atomic transition. The earlier two-word scheme (separate id and used
+// atomics with a CAS-then-Store recycle) had a window where a concurrent
+// charge could land on the stale byte count — double-counting the previous
+// window's traffic into the new one — or be wiped by the winner's reset.
+//
+//	state = tag(window) << usedBits | used
+//
+// usedBits bounds a window's accountable bytes at ~256 GiB (far beyond any
+// modeled per-window capacity; charges saturate there). The tag keeps the
+// low 26 bits of the absolute window index: two windows can only alias if
+// they map to the same slot AND are 2^26 windows (~11 virtual minutes at
+// the default 10 µs window) apart at the same instant, which the 64-slot
+// ring makes unreachable in practice.
+const (
+	usedBits = 38
+	usedMask = (uint64(1) << usedBits) - 1
+	tagMask  = (uint64(1) << (64 - usedBits)) - 1
+)
+
+// bucketSlot is one accounting window: a packed (window tag, bytes used)
+// word updated by CAS.
 type bucketSlot struct {
-	id   atomic.Int64
-	used atomic.Int64
+	state atomic.Uint64
+}
+
+// charge accounts bytes into the window containing t and returns the
+// window's resulting byte total. It retries until the packed CAS lands, so
+// every charged byte is counted in exactly one window.
+func (s *bucketSlot) charge(w, bytes int64) int64 {
+	tag := uint64(w) & tagMask
+	for {
+		cur := s.state.Load()
+		var used uint64
+		if cur>>usedBits == tag {
+			used = cur & usedMask // same window: accumulate
+		}
+		used += uint64(bytes)
+		if used > usedMask {
+			used = usedMask // saturate; the delay is already enormous
+		}
+		if s.state.CompareAndSwap(cur, tag<<usedBits|used) {
+			return int64(used)
+		}
+	}
 }
 
 // TokenBucket models the sustainable throughput of a shared resource
@@ -46,6 +87,11 @@ func NewTokenBucket(bytesPerNS float64, windowNS int64) *TokenBucket {
 	if cap < 1 {
 		cap = 1
 	}
+	if cap > int64(usedMask)/2 {
+		// Keep capacity well below the packed byte-count ceiling so the
+		// oversubscription comparison can still exceed it.
+		cap = int64(usedMask) / 2
+	}
 	return &TokenBucket{windowNS: windowNS, capacity: cap}
 }
 
@@ -56,16 +102,7 @@ func (b *TokenBucket) Charge(t int64, bytes int64) int64 {
 		return 0
 	}
 	w := t / b.windowNS
-	slot := &b.slots[w%numWindows]
-	// Lazily recycle the slot for the current window. A lost race means a
-	// charge lands in a neighbouring window — harmless for the statistics
-	// this model produces.
-	if id := slot.id.Load(); id != w {
-		if slot.id.CompareAndSwap(id, w) {
-			slot.used.Store(0)
-		}
-	}
-	used := slot.used.Add(bytes)
+	used := b.slots[w%numWindows].charge(w, bytes)
 	if used <= b.capacity {
 		return 0
 	}
@@ -92,13 +129,7 @@ func (b *TokenBucket) ChargeScaled(t, bytes, milli int64) int64 {
 		capEff = 1
 	}
 	w := t / b.windowNS
-	slot := &b.slots[w%numWindows]
-	if id := slot.id.Load(); id != w {
-		if slot.id.CompareAndSwap(id, w) {
-			slot.used.Store(0)
-		}
-	}
-	used := slot.used.Add(bytes)
+	used := b.slots[w%numWindows].charge(w, bytes)
 	if used <= capEff {
 		return 0
 	}
@@ -116,11 +147,11 @@ func (b *TokenBucket) WindowNS() int64 { return b.windowNS }
 // the window is oversubscribed and callers are absorbing queueing delay.
 func (b *TokenBucket) Utilization(t int64) float64 {
 	w := t / b.windowNS
-	slot := &b.slots[w%numWindows]
-	if slot.id.Load() != w {
+	cur := b.slots[w%numWindows].state.Load()
+	if cur>>usedBits != uint64(w)&tagMask {
 		return 0
 	}
-	return float64(slot.used.Load()) / float64(b.capacity)
+	return float64(cur&usedMask) / float64(b.capacity)
 }
 
 // channelMetrics are one node's observability handles (nil when the DRAM

@@ -196,6 +196,62 @@ func TestTokenBucketConcurrent(t *testing.T) {
 	}
 }
 
+// TestTokenBucketConcurrentExactBytes pins the recycle fix: concurrent
+// charges racing a slot's window turnover must account every byte exactly
+// once. The old CAS-then-Store recycle could wipe a racer's bytes or leave
+// a charge accumulating onto the previous window's count.
+func TestTokenBucketConcurrentExactBytes(t *testing.T) {
+	const (
+		windowNS   = 1000
+		goroutines = 8
+		charges    = 2000
+		bytes      = 7
+	)
+	b := NewTokenBucket(1e6, windowNS) // huge capacity: delays irrelevant
+	// Alternate between two windows that map to the same slot (numWindows
+	// apart) so every charge races the slot recycle path, then finish with
+	// one round into a final window and check its exact byte total.
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < charges; j++ {
+				w := int64(j % 2 * numWindows) // windows 0 and 64: same slot
+				b.Charge(w*windowNS, bytes)
+			}
+		}()
+	}
+	wg.Wait()
+	// The last window written wins the slot; whichever it is, its count
+	// must be a multiple of the charge size (no partial/wiped charges).
+	for _, w := range []int64{0, numWindows} {
+		if u := b.Utilization(w * windowNS); u != 0 {
+			got := int64(u * float64(b.Capacity()))
+			if got%bytes != 0 {
+				t.Errorf("window %d holds %d bytes, not a multiple of %d: lost or duplicated charges", w, got, bytes)
+			}
+		}
+	}
+	// Sequential exactness into a fresh window: total must be the sum.
+	var wg2 sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			for j := 0; j < charges; j++ {
+				b.Charge(5*windowNS, bytes)
+			}
+		}()
+	}
+	wg2.Wait()
+	want := int64(goroutines * charges * bytes)
+	got := int64(b.Utilization(5*windowNS)*float64(b.Capacity()) + 0.5)
+	if got != want {
+		t.Errorf("window 5 accounted %d bytes, want %d (every concurrent charge exactly once)", got, want)
+	}
+}
+
 func TestDRAMChargePerNode(t *testing.T) {
 	topo := topology.SyntheticDual(2, 4)
 	d := NewDRAM(topo, 1000)

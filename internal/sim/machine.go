@@ -223,6 +223,78 @@ func (m *Machine) Access(core topology.CoreID, t int64, addr mem.Addr, size int6
 	return cost
 }
 
+// RepeatCost returns the per-access cost of immediately re-touching
+// [addr, addr+size) after an Access by the same core, and whether that cost
+// is time-invariant so the caller may batch such repeats. The guarantee
+// behind it: Access leaves a single-line target in the core's L2 (when one
+// exists) and its local L3, so a repeat is a hit of constant latency — hit
+// paths charge no token bucket — and a repeat after a write has no remote
+// copies left to invalidate. Unsampled lines are charged the core's running
+// average, which only sampled accesses move, so it too is constant across a
+// run of same-line repeats. Multi-line accesses don't qualify (their lines
+// can evict each other and their misses pipeline).
+func (m *Machine) RepeatCost(core topology.CoreID, addr mem.Addr, size int64) (cost int64, ok bool) {
+	first := uint64(addr) >> cache.LineShift
+	if size <= 0 || first != (uint64(addr)+uint64(size)-1)>>cache.LineShift {
+		return 0, false
+	}
+	if first&uint64(m.sampleFactor-1) != 0 {
+		return m.avg[core].v, true
+	}
+	if m.l2[core] != nil {
+		return m.Topo.Cost.L2Hit, true
+	}
+	return m.Topo.Cost.L3LocalHit, true
+}
+
+// AccessRepeat settles n deferred repeat accesses (see RepeatCost) in one
+// call, leaving every machine counter exactly as n individual Access calls
+// ending at virtual time lastT would have: the line's LRU stamp and hit
+// counter, the core's fill-event and byte PMU counters, and n iterations of
+// the core's average-cost EWMA. It returns false — recording nothing — when
+// the line is no longer resident where RepeatCost assumed (a concurrent
+// invalidation or a migration moved the core), so the caller can replay the
+// repeats through Access instead.
+func (m *Machine) AccessRepeat(core topology.CoreID, lastT int64, addr mem.Addr, size int64, write bool, n int64) bool {
+	line := uint64(addr) >> cache.LineShift
+	if line&uint64(m.sampleFactor-1) == 0 {
+		var c int64
+		if l2 := m.l2[core]; l2 != nil {
+			// Same inclusivity rule as the L2-hit path in accessLine: the
+			// hit only counts while the local L3 still holds the line.
+			if !m.l3Holds(m.Topo.ChipletOf(core), line, &m.avg[core].dir) ||
+				!l2.Touch(line, lastT, n) {
+				return false
+			}
+			m.PMU.Add(int(core), pmu.FillL2, n*m.sampleFactor)
+			c = m.Topo.Cost.L2Hit
+		} else {
+			if !m.l3[m.Topo.ChipletOf(core)].Touch(line, lastT, n) {
+				return false
+			}
+			m.PMU.Add(int(core), pmu.FillL3Local, n*m.sampleFactor)
+			c = m.Topo.Cost.L3LocalHit
+		}
+		// Iterate the EWMA the n hits would have applied; the integer
+		// recurrence reaches its fixed point (|c-v| < 8) in a few steps, so
+		// large batches exit early.
+		a := &m.avg[core]
+		for i := int64(0); i < n; i++ {
+			d := (c - a.v) / 8
+			if d == 0 {
+				break
+			}
+			a.v += d
+		}
+	}
+	if write {
+		m.PMU.Add(int(core), pmu.BytesWritten, n*size)
+	} else {
+		m.PMU.Add(int(core), pmu.BytesRead, n*size)
+	}
+	return true
+}
+
 // Read is shorthand for a read Access.
 func (m *Machine) Read(core topology.CoreID, t int64, addr mem.Addr, size int64) int64 {
 	return m.Access(core, t, addr, size, false)
