@@ -34,6 +34,7 @@ verify:
 	$(GO) test ./...
 	$(GO) test -race ./internal/obs/... ./internal/core/...
 	$(GO) test -race -run TestMachineAccessRaceStress ./internal/sim/
+	$(GO) test -race -count=2 -run TestPowerReplayBitIdentical ./internal/core/
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke
 
@@ -81,6 +82,9 @@ bench:
 	$(GO) test ./internal/core/ -run xxx -bench BenchmarkTracing -benchtime 1s -benchmem \
 		| $(GO) run ./cmd/benchjson -o BENCH_obs.json \
 		-note "causal job tracing on the admission/dispatch path: off = disabled atomic gate, on = admit/stage/task span recording per job, emit = raw sharded span append"
+	$(GO) test ./internal/core/ -run xxx -bench BenchmarkPower -benchtime 1s -benchmem \
+		| $(GO) run ./cmd/benchjson -o BENCH_power.json \
+		-note "closed-loop thermal/energy plane: access = hot-line read loop with the plane off vs armed-but-idle (per-access PMU cost), tick = one governor evaluation (energy integration, RC step, tier logic) per chiplet tick"
 
 # Observability smoke runs: a Chrome trace and a Prometheus metrics dump
 # from the quickstart workload.

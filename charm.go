@@ -39,6 +39,7 @@ import (
 	"charm/internal/mem"
 	"charm/internal/obs"
 	"charm/internal/pmu"
+	"charm/internal/power"
 	"charm/internal/sim"
 	"charm/internal/topology"
 )
@@ -123,7 +124,28 @@ type (
 	SLOAlert = obs.SLOAlert
 	// SLOStatus is a point-in-time per-class error-budget reading.
 	SLOStatus = obs.SLOStatus
+	// PowerConfig parameterizes the closed-loop thermal/energy plane:
+	// per-chiplet energy accounting, the RC thermal model, and the tiered
+	// throttle/park governor (see Config.Power).
+	PowerConfig = power.Config
+	// PowerModel is one chiplet type's energy/thermal coefficients (the
+	// per-chiplet-type energy table; PowerConfig.Models cycles them).
+	PowerModel = power.Model
+	// PowerSnapshot is a point-in-time copy of the power plane's published
+	// state: per-chiplet temperatures, watts, energy ledgers, and governor
+	// tier-entry counts.
+	PowerSnapshot = power.Snapshot
+	// PowerPlane is the live closed-loop governor (Runtime.Power).
+	PowerPlane = power.Plane
 )
+
+// DefaultPowerModel returns the generic compute-chiplet energy model.
+var DefaultPowerModel = power.DefaultModel
+
+// ErrThermalConflict reports a configuration that combines static
+// thermal-throttle fault events with the closed-loop power plane — the
+// governor owns the thermal timeline, so the combination is ambiguous.
+var ErrThermalConflict = fault.ErrThermalConflict
 
 // AnalyzeTrace attributes one completed job trace's latency to queue,
 // compute, stall, and retry time (false when the job never dispatched).
@@ -280,6 +302,14 @@ type Config struct {
 	// topology (e.g. "chiplet-flap:seed=7" or "chaos"); convenient for
 	// CLI plumbing. Mutually exclusive with Faults.
 	FaultSpec string
+	// Power enables the closed-loop thermal/energy plane: PMU-driven
+	// per-chiplet energy accounting, an RC thermal model advanced in
+	// virtual time, and a governor that throttles (and in emergencies
+	// parks) chiplets through the fault plan's dynamic overlay. A non-nil
+	// zero value selects all defaults. Mutually exclusive with a "power"
+	// fault scenario in FaultSpec/Faults (which configures the same plane
+	// from spec knobs) and with static thermal-throttle fault events.
+	Power *PowerConfig
 	// MaxTaskRetries re-executes a panicking task up to N times before
 	// failing its submission, with exponential virtual-time backoff
 	// (0 = fail on first panic).
@@ -333,6 +363,11 @@ func (cfg *Config) validate() error {
 	}
 	if cfg.Faults != nil && cfg.FaultSpec != "" {
 		return fmt.Errorf("charm: Faults and FaultSpec are mutually exclusive")
+	}
+	if cfg.Power != nil {
+		if err := cfg.Power.Validate(); err != nil {
+			return fmt.Errorf("charm: %w", err)
+		}
 	}
 	return nil
 }
@@ -393,11 +428,31 @@ func Init(cfg Config) (*Runtime, error) {
 			return nil, fmt.Errorf("charm: %w", err)
 		}
 	}
+	// The power plane's configuration comes from Config.Power or a "power"
+	// fault scenario ("power:tdp=...,rc=...,setpoint=..."), never both;
+	// either way it must not meet static thermal-throttle events (the
+	// schedule compiler enforces the spec side, this the config side).
+	pcfg := cfg.Power
+	if sched != nil && sched.Power != nil {
+		if pcfg != nil {
+			return nil, fmt.Errorf("charm: Config.Power and a \"power\" fault scenario are mutually exclusive")
+		}
+		c := power.ConfigFromKnobs(*sched.Power)
+		pcfg = &c
+	}
+	if pcfg != nil && plan != nil {
+		for _, e := range plan.Events() {
+			if e.Kind == fault.ThermalThrottle {
+				return nil, fmt.Errorf("charm: %w", fault.ErrThermalConflict)
+			}
+		}
+	}
 	// Knobs orthogonal to the system/policy choice, applied to every
 	// construction path below.
 	extras := func(o *core.Options) {
 		o.ThrottleWindow = cfg.ThrottleWindow
 		o.Faults = plan
+		o.Power = pcfg
 		o.MaxTaskRetries = cfg.MaxTaskRetries
 		o.RetryBackoff = cfg.RetryBackoff
 		o.StarvationDeadline = cfg.StarvationDeadline
@@ -604,6 +659,12 @@ func (r *Runtime) WriteChromeTrace(w io.Writer) error {
 	return r.rt.Profiler().WriteChromeTrace(w)
 }
 
+// Power returns the closed-loop thermal/energy plane, or nil when
+// Config.Power (and any "power" fault scenario) was absent. Query its
+// Stats for per-chiplet temperatures, watts, energy ledgers, and governor
+// tier-entry counts.
+func (r *Runtime) Power() *PowerPlane { return r.rt.Power() }
+
 // Engine exposes the underlying runtime for advanced integrations
 // (the harness and the workload drivers use it).
 func (r *Runtime) Engine() *core.Runtime { return r.rt }
@@ -627,4 +688,5 @@ const (
 	CtxSwitch          = pmu.CtxSwitch
 	BytesRead          = pmu.BytesRead
 	BytesWritten       = pmu.BytesWritten
+	ComputeNS          = pmu.ComputeNS
 )

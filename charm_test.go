@@ -53,7 +53,37 @@ func TestInitValidation(t *testing.T) {
 		{"bad fault spec", Config{Workers: 2, Topology: small, FaultSpec: "no-such-scenario"}, false},
 		{"faults and spec together", Config{Workers: 2, Topology: small,
 			Faults: NewFaultSchedule("x", 1), FaultSpec: "chaos"}, false},
+		{"NaN power TDP", Config{Workers: 2, Topology: small,
+			Power: &PowerConfig{TDPWatts: math.NaN()}}, false},
+		{"negative power TDP", Config{Workers: 2, Topology: small,
+			Power: &PowerConfig{TDPWatts: -5}}, false},
+		{"disordered power setpoints", Config{Workers: 2, Topology: small,
+			Power: &PowerConfig{SoftC: 90, HardC: 80}}, false},
+		{"power ambient above soft", Config{Workers: 2, Topology: small,
+			Power: &PowerConfig{AmbientC: 90, SoftC: 80}}, false},
+		{"negative power RC resistance", Config{Workers: 2, Topology: small,
+			Power: &PowerConfig{Models: []PowerModel{{RThermal: -1, CThermal: 0.001}}}}, false},
+		{"infinite power energy entry", Config{Workers: 2, Topology: small,
+			Power: &PowerConfig{Models: []PowerModel{func() PowerModel {
+				m := DefaultPowerModel()
+				m.EnergyPJ[ComputeNS] = math.Inf(1)
+				return m
+			}()}}}, false},
+		{"negative power tick", Config{Workers: 2, Topology: small,
+			Power: &PowerConfig{TickNS: -1}}, false},
+		{"power config and power spec together", Config{Workers: 2, Topology: small,
+			Power: &PowerConfig{}, FaultSpec: "power:tdp=8"}, false},
+		{"power and static thermal event", Config{Workers: 2, Topology: small,
+			Power:  &PowerConfig{},
+			Faults: NewFaultSchedule("clash", 1).ThermalThrottle(0, 0, 1000, 2)}, false},
 		{"valid minimal", Config{Workers: 2, Topology: SmallTopology()}, true},
+		{"valid with power", Config{Workers: 2, Topology: SmallTopology(),
+			Power: &PowerConfig{}}, true},
+		{"valid with power spec", Config{Workers: 2, Topology: SmallTopology(),
+			FaultSpec: "power:tdp=8,setpoint=70"}, true},
+		{"valid power with brownout faults", Config{Workers: 2, Topology: SmallTopology(),
+			Power:  &PowerConfig{},
+			Faults: NewFaultSchedule("mix", 1).LinkBrownout(0, 0, 1000, 2)}, true},
 		{"valid with faults", Config{Workers: 2, Topology: SmallTopology(),
 			Faults: NewFaultSchedule("ok", 1).LinkBrownout(0, 0, 1000, 2)}, true},
 		{"valid with spec", Config{Workers: 2, Topology: SmallTopology(), FaultSpec: "chaos:seed=3"}, true},
@@ -98,6 +128,53 @@ func TestFaultInjectionPublicAPI(t *testing.T) {
 	})
 	if n.Load() != 64 || st.Tasks != 64 {
 		t.Fatalf("completed %d tasks (stats %d), want 64", n.Load(), st.Tasks)
+	}
+}
+
+// TestPowerPublicAPI: the closed-loop plane end to end through the
+// facade — Init with Config.Power, a compute-heavy run warming the
+// chiplets, and the published snapshot visible via Runtime.Power(). Also
+// pins the typed conflict error for static-thermal + plane.
+func TestPowerPublicAPI(t *testing.T) {
+	rt, err := Init(Config{
+		Workers: 4, Topology: SmallTopology(), Deterministic: true,
+		Power: &PowerConfig{SoftC: 55, HardC: 65, ParkC: 75, TickNS: 10_000,
+			Models: []PowerModel{func() PowerModel {
+				m := DefaultPowerModel()
+				m.CThermal = 2e-6
+				return m
+			}()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Finalize()
+	pw := rt.Power()
+	if pw == nil {
+		t.Fatal("Runtime.Power() nil with Config.Power set")
+	}
+	rt.ParallelFor(0, 32, 1, func(ctx *Ctx, i0, i1 int) { ctx.Compute(30_000) })
+	snap := pw.Stats()
+	if snap.At == 0 {
+		t.Fatal("governor never ticked during a compute-heavy run")
+	}
+	if snap.MaxTempMilliC <= 45_000 {
+		t.Fatalf("no chiplet warmed above ambient: max %d milli°C", snap.MaxTempMilliC)
+	}
+	var energy int64
+	for _, pj := range snap.EnergyPJ {
+		energy += pj
+	}
+	if energy == 0 {
+		t.Fatal("energy ledger empty after a compute-heavy run")
+	}
+
+	_, err = Init(Config{
+		Workers: 2, Topology: SmallTopology(), Power: &PowerConfig{},
+		Faults: NewFaultSchedule("clash", 1).ThermalThrottle(0, 0, 1000, 2),
+	})
+	if !errors.Is(err, ErrThermalConflict) {
+		t.Fatalf("static thermal + plane: err = %v, want ErrThermalConflict", err)
 	}
 }
 

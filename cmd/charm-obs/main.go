@@ -37,6 +37,15 @@
 //	    critical-path breakdown. Trace IDs come from the critpath report
 //	    or the flight recorder's retained list.
 //
+//	charm-obs power   [-load F] [-blind]
+//	    Runs the job stream over a heterogeneous package (one hot compute
+//	    die among three efficient ones) with the closed-loop thermal/energy
+//	    plane on and prints the per-chiplet post-mortem: final junction
+//	    temperature, last-window power, lifetime energy ledger, and the
+//	    governor tier events (soft/hard throttles, emergency parks).
+//	    -blind switches dispatch from thermal-aware load-aware placement
+//	    to round-robin, which rides the governor through its tiers.
+//
 // Workloads: quickstart (default; the examples/quickstart kernel), phases
 // (growing/shrinking working set), bfs (Kronecker graph BFS).
 package main
@@ -74,6 +83,8 @@ func main() {
 		cmdCritpath(os.Args[2:])
 	case "job":
 		cmdJob(os.Args[2:])
+	case "power":
+		cmdPower(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -84,7 +95,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: charm-obs <trace|metrics|top|slo|critpath|job> [flags]
+	fmt.Fprint(os.Stderr, `usage: charm-obs <trace|metrics|top|slo|critpath|job|power> [flags]
 
   trace     write a Chrome trace-event JSON file (task spans + counter tracks)
   metrics   write the final metrics snapshot (Prometheus text and/or JSON)
@@ -92,9 +103,10 @@ func usage() {
   slo       run the overload scenario; print SLO budgets and burn-rate alerts
   critpath  run the overload scenario; print critical-path attribution
   job <id>  run the overload scenario; print one job's trace and breakdown
+  power     run the hot-die scenario; print the per-chiplet thermal/energy table
 
 Common flags: -workers N, -workload quickstart|phases|bfs (trace/metrics/top);
--load F, -thermal (slo/critpath/job).
+-load F, -thermal (slo/critpath/job); -load F, -blind (power).
 Run 'charm-obs <subcommand> -h' for subcommand flags.
 `)
 }
@@ -463,6 +475,99 @@ func cmdJob(args []string) {
 		fmt.Println("\nno critical path: the job never dispatched a stage " +
 			"(shed, rejected, or expired in the admission queue)")
 	}
+}
+
+// cmdPower runs the job stream over a heterogeneous package with the
+// closed-loop thermal/energy plane and prints the per-chiplet post-mortem.
+// The scenario mirrors the harness thermal-cliff experiment: chiplet 0 is a
+// hot compute die (8x the dynamic energy per compute-ns of its efficient
+// siblings), so dispatch policy decides whether the governor stays in the
+// nominal band or rides its throttle/park tiers.
+func cmdPower(args []string) {
+	fs := flag.NewFlagSet("charm-obs power", flag.ExitOnError)
+	load := fs.Float64("load", 0.7, "arrival rate as a multiple of machine capacity")
+	blind := fs.Bool("blind", false, "round-robin dispatch instead of thermal-aware load-aware placement")
+	fs.Parse(args)
+
+	hot := charm.DefaultPowerModel()
+	hot.Name = "hot"
+	hot.EnergyPJ[charm.ComputeNS] = 12000
+	hot.CThermal = 4e-5
+	cool := charm.DefaultPowerModel()
+	cool.Name = "cool"
+	cool.EnergyPJ[charm.ComputeNS] = 1500
+	cool.CThermal = 4e-5
+	pcfg := &charm.PowerConfig{
+		TDPWatts: 20,
+		SoftC:    65, HardC: 75, ParkC: 85,
+		TickNS: 20_000, ParkNS: 500_000,
+		Models: []charm.PowerModel{hot, cool, cool, cool},
+	}
+
+	placement := charm.PlaceLoadAware
+	name := "load-aware"
+	if *blind {
+		placement = charm.PlaceRoundRobin
+		name = "round-robin"
+	}
+	rt, err := charm.Init(charm.Config{
+		Topology:      topology.Synthetic(4, 2),
+		Workers:       ovWorkers,
+		Deterministic: true,
+		Power:         pcfg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Finalize()
+	svc, err := rt.ServeJobs(charm.JobServiceOptions{
+		Policy:        charm.AdmitShed,
+		QueueCapacity: ovQueueCap,
+		Placement:     placement,
+		EvalInterval:  50_000,
+		Source: &charm.SpecSource{
+			Arrivals: charm.NewPoissonArrivals(ovSeed, int64(float64(ovGap1x)/(*load)), ovJobs),
+			Gen: func(i int) charm.JobSpec {
+				stage := make(charm.JobStage, ovTasks)
+				for k := range stage {
+					stage[k] = func(ctx *charm.Ctx) { ctx.Compute(ovTaskCost) }
+				}
+				return charm.JobSpec{
+					Name:     fmt.Sprintf("job-%d", i),
+					Priority: i % 3,
+					Deadline: 2 * ovDeadline,
+					Cost:     ovWork,
+					Stages:   []charm.JobStage{stage},
+				}
+			},
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	svc.Drain()
+
+	stats := svc.Stats()
+	snap := rt.Power().Stats()
+	fmt.Printf("thermal/energy plane: load %gx, dispatch %s, %d jobs "+
+		"(completed %d, met %d, shed %d, expired %d), virtual time %.3f ms\n",
+		*load, name, stats.Submitted, stats.Completed, stats.Met,
+		stats.Shed, stats.Expired, float64(snap.At)/1e6)
+	fmt.Printf("peak junction temperature across the package: %.1f C "+
+		"(setpoints: soft %.0f, hard %.0f, park %.0f)\n\n",
+		float64(snap.MaxTempMilliC)/1000, pcfg.SoftC, pcfg.HardC, pcfg.ParkC)
+	fmt.Println("chiplet  model  temp_C  watts  energy_mJ  soft  hard  parks")
+	var totalPJ int64
+	for c := range snap.TempMilliC {
+		m := pcfg.Models[c%len(pcfg.Models)]
+		totalPJ += snap.EnergyPJ[c]
+		fmt.Printf("%7d  %-5s  %6.1f  %5.2f  %9.3f  %4d  %4d  %5d\n",
+			c, m.Name, float64(snap.TempMilliC[c])/1000,
+			float64(snap.WattsMilli[c])/1000,
+			float64(snap.EnergyPJ[c])/1e9,
+			snap.SoftEvents[c], snap.HardEvents[c], snap.ParkEvents[c])
+	}
+	fmt.Printf("\ntotal energy: %.3f mJ\n", float64(totalPJ)/1e9)
 }
 
 // writeTo opens path ("-" = stdout) and applies write.

@@ -88,9 +88,14 @@ func (c *Ctx) RMW(addr mem.Addr, size int64) {
 	c.stall(cost)
 }
 
-// Compute charges ns nanoseconds of pure CPU work.
+// Compute charges ns nanoseconds of pure CPU work. The busy time is also
+// counted on the core's ComputeNS PMU counter — the signal the energy
+// model prices into dynamic compute power.
 func (c *Ctx) Compute(ns int64) {
 	c.flushBatch()
+	if ns > 0 {
+		c.w.rt.M.PMU.Add(int(c.w.Core()), pmu.ComputeNS, ns)
+	}
 	c.advance(ns)
 }
 
@@ -266,7 +271,25 @@ func (c *Ctx) Barrier(b *RtBarrier) {
 		// away until the last party closes the generation.
 		g := b.enter(c.Now())
 		c.w.blocked.Store(true)
-		ls.blockOn(c.w.id, g.released)
+		for {
+			ls.blockOn(c.w.id, func() bool {
+				return g.released() || !c.w.inbox.Empty()
+			})
+			if g.released() || c.w.rt.stop.Load() {
+				break
+			}
+			// A task delivered mid-barrier (a faulted worker re-homing
+			// its queue here) would strand in the inbox while this
+			// goroutine is parked inside the party's stack: spill it to
+			// the deque, where thieves can rescue it.
+			for {
+				t := c.w.inbox.Take()
+				if t == nil {
+					break
+				}
+				c.w.deque.Push(t)
+			}
+		}
 		c.w.blocked.Store(false)
 		c.w.clock.SyncTo(g.t)
 		return

@@ -85,6 +85,12 @@ func (w *Worker) reloadFast(epoch, now int64) {
 		}
 	}
 	f.thermMilli, f.thermUntil = 1000, math.MaxInt64
+	if pw := w.rt.power; pw != nil {
+		// Reloads are exactly where cached thermal segments expire, so this
+		// is the governor's claim point: integrate any grid windows the
+		// clock has crossed before re-reading throttle state.
+		pw.MaybeTick(now)
+	}
 	if p := w.rt.opts.Faults; p != nil {
 		f.thermMilli, f.thermUntil = p.ThermalSegment(f.chiplet, now)
 	}

@@ -124,6 +124,21 @@ func (w *Worker) checkFault() bool {
 // running them on the replacement is the degradation contract).
 func (w *Worker) drainToLive(now int64) {
 	next := w.id
+	if w.rt.nextLiveWorker(next, now) == next {
+		// Every worker's core is down at now — there is nowhere to drain
+		// to, and rerouting would cycle this worker's own inbox forever.
+		// Fold the inbox into the deque and keep the queue: a re-homing
+		// policy carries it to the replacement core, and a parked worker
+		// holds it (with an empty inbox, so park waits for revival instead
+		// of waking instantly) until the fleet reaches the revival time.
+		for {
+			t := w.inbox.Take()
+			if t == nil {
+				return
+			}
+			w.deque.Push(t)
+		}
+	}
 	reroute := func(t *Task) {
 		if t.jobCancelled() && (t.co == nil || !t.co.started) {
 			// A cancelled job's never-started task dies here instead of
@@ -134,6 +149,13 @@ func (w *Worker) drainToLive(now int64) {
 		}
 		next = w.rt.nextLiveWorker(next, now)
 		if t.pinned {
+			// The home core is gone; the degradation contract is "run it
+			// on a live worker" — which one no longer matters, so unpin.
+			// A task that stayed pinned could strand in the deque of a
+			// worker blocked inside a barrier this task is itself a party
+			// of (thieves bounce pinned tasks back), deadlocking the
+			// fleet.
+			t.pinned = false
 			t.home = next
 		}
 		w.rt.workers[next].inbox.Put(t)

@@ -39,6 +39,12 @@ func (rt *Runtime) placeSnapshot(now int64) place.Snapshot {
 		snap.WorkerCore[i] = w.Core()
 		snap.QueueDepth[i] = w.inbox.Len() + int64(w.deque.Len())
 	}
+	if pw := rt.power; pw != nil {
+		// Published thermal state: the governor replaces the snapshot slice
+		// wholesale, so handing it to the view preserves immutability.
+		snap.TempMilliC = pw.TempsMilliC()
+		snap.TempSoftMilliC = pw.SoftMilliC()
+	}
 	return snap
 }
 

@@ -118,7 +118,10 @@ func (p *CharmPolicy) AssignWorker(i int, phase uint64, workers int) int {
 // the self-healing contrast the chaos experiment measures.
 func (p *CharmPolicy) Rehome(w *Worker, now int64) (topology.CoreID, bool) {
 	v := w.rt.placeView(now)
-	c, ok := v.Select(place.Nearest(w.Core()), place.Live, place.Idle)
+	// ThermalHeadroom reduces to plain nearest-distance when no power
+	// plane runs; with one, an evicted worker avoids re-homing onto a
+	// chiplet that is about to throttle (or just parked it).
+	c, ok := v.Select(place.ThermalHeadroom(w.Core()), place.Live, place.Idle)
 	if ok {
 		w.rt.met.placeRehome.Inc(w.id)
 	}

@@ -23,6 +23,7 @@ import (
 	"charm/internal/obs"
 	"charm/internal/place"
 	"charm/internal/pmu"
+	"charm/internal/power"
 	"charm/internal/sim"
 	"charm/internal/topology"
 	"charm/internal/vtime"
@@ -92,6 +93,14 @@ type Options struct {
 	// live workers and either re-home (Rehomer policies) or park. Nil
 	// runs a permanently healthy machine.
 	Faults *fault.Plan
+	// Power enables the closed-loop thermal/energy plane (internal/power):
+	// per-chiplet energy accounting from the PMU counters, an RC thermal
+	// model advanced in virtual time, and a governor that feeds throttle
+	// and park decisions back through the fault plan's dynamic overlay.
+	// The plan in Faults hosts the overlay; when Faults is nil an empty
+	// plan is compiled to carry it. Nil disables the plane entirely (the
+	// hot paths then pay a single nil check).
+	Power *power.Config
 	// MaxTaskRetries re-executes a panicking task up to N times before
 	// failing its group, with exponential backoff in virtual time. 0
 	// (default) fails on the first panic.
@@ -176,6 +185,10 @@ type Runtime struct {
 	// the job service's lock-serialized emissions. Disabled by default.
 	tracer *obs.Tracer
 
+	// power is the closed-loop thermal/energy governor (nil when the plane
+	// is disabled — hot paths check the pointer once).
+	power *power.Plane
+
 	// ls serializes workers when Options.Deterministic is set (else nil).
 	ls *lockstep
 
@@ -237,7 +250,7 @@ func NewRuntime(m *sim.Machine, opts Options) *Runtime {
 	if opts.IdleQuantum <= 0 {
 		opts.IdleQuantum = 2_000
 	}
-	if opts.Faults != nil && opts.Faults.Empty() {
+	if opts.Faults != nil && opts.Faults.Empty() && opts.Power == nil {
 		opts.Faults = nil // an empty plan is a healthy machine; skip the hooks
 	}
 	if opts.MaxTaskRetries < 0 {
@@ -245,6 +258,23 @@ func NewRuntime(m *sim.Machine, opts Options) *Runtime {
 	}
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = 10_000
+	}
+	var pw *power.Plane
+	if opts.Power != nil {
+		// The plane rides on the fault plan's dynamic overlay; compile an
+		// empty plan to host it when no static faults were configured.
+		if opts.Faults == nil {
+			pl, err := (*fault.Schedule)(nil).Compile(m.Topo)
+			if err != nil {
+				panic(fmt.Sprintf("core: empty fault plan: %v", err))
+			}
+			opts.Faults = pl
+		}
+		var err error
+		pw, err = power.NewPlane(m.Topo, m.PMU, opts.Faults, *opts.Power)
+		if err != nil {
+			panic(fmt.Sprintf("core: power plane: %v", err))
+		}
 	}
 
 	rt := &Runtime{
@@ -254,6 +284,7 @@ func NewRuntime(m *sim.Machine, opts Options) *Runtime {
 		coreOcc:      make([]atomic.Int32, m.Topo.NumCores()),
 		ranks:        place.NewRanks(m.Topo),
 		prof:         NewProfiler(),
+		power:        pw,
 		batch:        !opts.NoAccessBatch,
 		pool:         !opts.NoPooling,
 	}
@@ -262,6 +293,9 @@ func NewRuntime(m *sim.Machine, opts Options) *Runtime {
 	// so traces can include counter tracks.
 	rt.met = newRTMetrics(rt, opts.Workers)
 	m.Instrument(rt.met.reg)
+	if rt.power != nil {
+		rt.power.Instrument(rt.met.reg)
+	}
 	rt.prof.AttachRegistry(rt.met.reg)
 	rt.tracer = obs.NewTracer(opts.Workers+1, 0)
 	rt.prof.AttachTracer(rt.tracer)
@@ -356,6 +390,10 @@ func (rt *Runtime) Options() Options { return rt.opts }
 
 // Profiler returns the runtime's time-series profiler.
 func (rt *Runtime) Profiler() *Profiler { return rt.prof }
+
+// Power returns the closed-loop thermal/energy plane, or nil when the
+// plane is disabled.
+func (rt *Runtime) Power() *power.Plane { return rt.power }
 
 // Tracer returns the runtime's causal-span tracer (disabled by default;
 // see EnableTracing).
@@ -557,6 +595,7 @@ func (rt *Runtime) submitWait(fns []func(*Ctx), pinned, coro bool) Stats {
 	}
 	for i, fn := range fns {
 		var wid int
+		pin := pinned
 		if pinned {
 			// AllDo: instance i belongs to worker i by construction.
 			wid = i % len(rt.workers)
@@ -566,11 +605,17 @@ func (rt *Runtime) submitWait(fns []func(*Ctx), pinned, coro bool) Stats {
 		if rt.opts.Faults != nil && rt.opts.Faults.CoreDown(rt.workers[wid].Core(), start) {
 			// The assigned worker's core is offline at phase start: route
 			// to a live worker instead of queueing work on a parked one.
+			// The rerouted instance loses its pin — its home is gone, so
+			// any live worker may run it. Keeping the pin would strand it
+			// in the replacement's deque if that worker blocks inside a
+			// barrier the instance is itself a party of (thieves bounce
+			// pinned tasks back to their home).
 			wid = rt.nextLiveWorker(wid, start)
+			pin = false
 		}
 		w := rt.workers[wid]
 		t := rt.newTask(fn, g, start, coro, w.id)
-		t.pinned = pinned
+		t.pinned = pin
 		w.inbox.Put(t)
 	}
 	if rt.ls != nil {

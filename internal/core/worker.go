@@ -312,6 +312,11 @@ func (w *Worker) idleDrift() {
 		t = gm
 	}
 	w.clock.SyncTo(t)
+	if pw := w.rt.power; pw != nil {
+		// Idle fleets still cross governor boundaries: temperatures must
+		// keep decaying (and parks expiring) while no task runs.
+		pw.MaybeTick(t)
+	}
 	// Keep the concurrency trace alive even when this worker has no
 	// tasks of its own.
 	if t-w.lastSample >= w.rt.opts.SchedulerTimer {
@@ -350,19 +355,46 @@ func (w *Worker) drainInbox() *Task {
 // strategy tries cores on the same chiplet before other chiplets (§4.4).
 func (w *Worker) steal() *Task {
 	self := w.Core()
+	topo := w.rt.M.Topo
+	selfCh := topo.ChipletOf(self)
+	importOK := true
+	if plan := w.rt.opts.Faults; plan != nil {
+		// A thermally throttled chiplet never imports work: a stolen task
+		// would execute here at the throttle multiplier while the victim —
+		// or any cool die — runs it at full speed, and the imported heat
+		// only deepens the throttle (the closed-loop governor's positive
+		// feedback). Same-chiplet steals stay allowed; that work is
+		// already committed to this die's queues. The one exception is a
+		// *blocked* victim (parked, or waiting inside a barrier/call):
+		// its queue cannot drain itself, so refusing it can starve the
+		// fleet — a hot slow rescue beats a deadlock.
+		importOK = plan.ThermalMilli(selfCh, w.clock.Now()) <= 1000
+	}
 	for _, victim := range w.rt.opts.Policy.StealOrder(w) {
 		v := w.rt.workers[victim]
+		vc := v.Core()
+		if !importOK && topo.ChipletOf(vc) != selfCh && !v.blocked.Load() {
+			continue
+		}
 		t := v.deque.Steal()
 		if t == nil {
 			continue
 		}
 		if t.pinned {
-			// Pinned tasks must run on their home worker; return it.
-			v.inbox.Put(t)
-			continue
+			if hw := w.rt.workers[t.home]; !hw.blocked.Load() {
+				// Pinned tasks must run on their home worker; return it.
+				v.inbox.Put(t)
+				continue
+			}
+			// The home worker is blocked (parked, or waiting inside a
+			// barrier/call), so it cannot run its own queue. Honoring the
+			// pin would strand the task — and deadlock the fleet if the
+			// task is itself a party of the barrier its home is waiting
+			// in (an AllDo instance displaced into the deque by an
+			// earlier arrival). The degradation contract is "run it on a
+			// live worker": unpin and take it.
+			t.pinned = false
 		}
-		topo := w.rt.M.Topo
-		vc := v.Core()
 		w.clock.Advance(topo.Cost.StealPenalty + topo.CASLatency(self, vc))
 		w.rt.M.PMU.Add(int(self), pmu.TaskSteal, 1)
 		w.rt.met.steals.Inc(w.id)
@@ -487,6 +519,9 @@ func (w *Worker) finishTask(t *Task) {
 // elapsed >= SCHEDULER_TIMER) at task boundaries and yield points.
 func (w *Worker) maybeTick() {
 	now := w.clock.Now()
+	if pw := w.rt.power; pw != nil {
+		pw.MaybeTick(now)
+	}
 	if now-w.lastDecision < w.rt.opts.SchedulerTimer {
 		return
 	}

@@ -14,6 +14,7 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -21,6 +22,13 @@ import (
 	"charm/internal/rng"
 	"charm/internal/topology"
 )
+
+// ErrThermalConflict reports a schedule that combines static
+// thermal-throttle events with the closed-loop power plane: the governor
+// owns the thermal timeline once armed (its overlay steps replace the
+// static ones), so a spec declaring both is almost certainly a mistake.
+// Returned wrapped; test with errors.Is.
+var ErrThermalConflict = errors.New("static thermal-throttle events conflict with the closed-loop power plane")
 
 // Kind classifies a fault event.
 type Kind uint8
@@ -73,6 +81,17 @@ type Event struct {
 	Factor float64
 }
 
+// PowerKnobs carries the closed-loop power-plane parameters a "power"
+// spec requests. The fault package only transports them (the plane itself
+// lives in internal/power, which resolves zero fields to defaults): tdp is
+// the per-chiplet power clamp in watts, rc the thermal time constant R·C
+// in virtual ns, and setpoint the soft-throttle temperature in °C.
+type PowerKnobs struct {
+	TDPWatts  float64
+	TauNS     int64
+	SetpointC float64
+}
+
 // Schedule is an ordered set of fault events, reproducible from its seed.
 type Schedule struct {
 	// Name labels the schedule in reports ("none", "chiplet-flap", ...).
@@ -81,6 +100,11 @@ type Schedule struct {
 	Seed uint64
 	// Events are the fault windows; order is irrelevant (Compile sorts).
 	Events []Event
+	// Power, when non-nil, asks the runtime to arm the closed-loop
+	// thermal/energy plane with these knobs (set by the "power" spec).
+	// Compile rejects schedules that combine it with static
+	// ThermalThrottle events (ErrThermalConflict).
+	Power *PowerKnobs
 }
 
 // New returns an empty named schedule.
@@ -138,13 +162,35 @@ type specOpts struct {
 //	name[:key=value[,key=value...]]
 //
 // with names none, core-flap, chiplet-flap, brownout, mem-brownout,
-// thermal, chaos and keys seed (uint), period (virtual ns), horizon
+// thermal, chaos, power and keys seed (uint), period (virtual ns), horizon
 // (virtual ns), factor (float >= 1), count (victims per window). Victims
 // are chosen by a seeded SplitMix64 stream, so the same spec always yields
 // the same schedule. Flap schedules leave at least one chiplet online at
 // all times by construction (one victim window per period).
+//
+// The "power" name is the closed-loop scenario: it emits no static events
+// and instead sets Schedule.Power, asking the runtime to arm the thermal/
+// energy governor. Its keys are tdp (watts per chiplet), rc (thermal time
+// constant R·C in virtual ns) and setpoint (soft-throttle °C); the generic
+// keys are invalid for it, and combining it with static thermal events
+// fails Compile with ErrThermalConflict.
 func ParseSpec(spec string, topo *topology.Topology) (*Schedule, error) {
 	name := spec
+	rest := ""
+	if i := indexByte(spec, ':'); i >= 0 {
+		name, rest = spec[:i], spec[i+1:]
+	}
+	if name == "power" {
+		// The closed-loop scenario has its own key set (tdp, rc, setpoint)
+		// and generates no static events: it arms the runtime governor.
+		s := New(name, 1)
+		knobs, err := parsePowerOpts(rest)
+		if err != nil {
+			return nil, fmt.Errorf("fault: spec %q: %w", spec, err)
+		}
+		s.Power = knobs
+		return s, nil
+	}
 	opts := specOpts{
 		seed:    1,
 		period:  1_000_000,   // 1 ms virtual between fault windows
@@ -152,9 +198,8 @@ func ParseSpec(spec string, topo *topology.Topology) (*Schedule, error) {
 		factor:  0,           // per-name default
 		count:   1,
 	}
-	if i := indexByte(spec, ':'); i >= 0 {
-		name = spec[:i]
-		if err := parseOpts(spec[i+1:], &opts); err != nil {
+	if rest != "" {
+		if err := parseOpts(rest, &opts); err != nil {
 			return nil, fmt.Errorf("fault: spec %q: %w", spec, err)
 		}
 	}
@@ -227,9 +272,58 @@ func ParseSpec(spec string, topo *topology.Topology) (*Schedule, error) {
 			s.ThermalThrottle(topology.ChipletID(rng.Intn(st, n)), from, to, 3)
 		})
 	default:
-		return nil, fmt.Errorf("fault: unknown schedule %q (have none, core-flap, chiplet-flap, brownout, mem-brownout, thermal, chaos)", name)
+		return nil, fmt.Errorf("fault: unknown schedule %q (have none, core-flap, chiplet-flap, brownout, mem-brownout, thermal, chaos, power)", name)
 	}
 	return s, nil
+}
+
+// parsePowerOpts parses the "power" scenario's key set. Zero-valued knobs
+// mean "use the plane's default"; explicit values must be finite and
+// positive.
+func parsePowerOpts(s string) (*PowerKnobs, error) {
+	k := &PowerKnobs{}
+	seen := make(map[string]bool, 3)
+	for len(s) > 0 {
+		kv := s
+		if i := indexByte(s, ','); i >= 0 {
+			kv, s = s[:i], s[i+1:]
+		} else {
+			s = ""
+		}
+		i := indexByte(kv, '=')
+		if i < 0 {
+			return nil, fmt.Errorf("malformed option %q (want key=value)", kv)
+		}
+		key, val := kv[:i], kv[i+1:]
+		if seen[key] {
+			return nil, fmt.Errorf("duplicate option %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "tdp":
+			_, err = fmt.Sscanf(val, "%g", &k.TDPWatts)
+			if err == nil && (k.TDPWatts <= 0 || math.IsNaN(k.TDPWatts) || math.IsInf(k.TDPWatts, 0)) {
+				err = fmt.Errorf("must be a finite value > 0, got %v", k.TDPWatts)
+			}
+		case "rc":
+			_, err = fmt.Sscanf(val, "%d", &k.TauNS)
+			if err == nil && k.TauNS <= 0 {
+				err = fmt.Errorf("must be positive virtual ns, got %d", k.TauNS)
+			}
+		case "setpoint":
+			_, err = fmt.Sscanf(val, "%g", &k.SetpointC)
+			if err == nil && (k.SetpointC <= 0 || math.IsNaN(k.SetpointC) || math.IsInf(k.SetpointC, 0)) {
+				err = fmt.Errorf("must be a finite value > 0, got %v", k.SetpointC)
+			}
+		default:
+			return nil, fmt.Errorf("unknown option %q (power takes tdp, rc, setpoint)", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("option %q: %v", kv, err)
+		}
+	}
+	return k, nil
 }
 
 func indexByte(s string, b byte) int {

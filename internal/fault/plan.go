@@ -33,6 +33,30 @@ type Plan struct {
 	events   []Event  // validated, sorted (includes chiplet expansion sources)
 	name     string
 	seed     uint64
+
+	// ov is the dynamic overlay (overlay.go): runtime-appended thermal
+	// steps and park spans layered over the static timelines. Set once via
+	// AttachOverlay before the plan is shared; nil for purely static plans,
+	// so the query paths pay a single nil check.
+	ov *Overlay
+}
+
+// AttachOverlay arms the dynamic overlay on the plan. It must be called
+// once, before the plan is handed to the runtime/machine (the field is
+// read without synchronization afterwards).
+func (p *Plan) AttachOverlay(o *Overlay) {
+	if p.ov != nil {
+		panic("fault: AttachOverlay called twice")
+	}
+	p.ov = o
+}
+
+// Overlay returns the attached dynamic overlay, or nil.
+func (p *Plan) Overlay() *Overlay {
+	if p == nil {
+		return nil
+	}
+	return p.ov
 }
 
 // Compile validates the schedule against topo and builds the per-resource
@@ -40,6 +64,15 @@ type Plan struct {
 // overlapping windows on the same core merge; overlapping degradation
 // windows on the same link/node/chiplet compound multiplicatively.
 func (s *Schedule) Compile(topo *topology.Topology) (*Plan, error) {
+	if s != nil && s.Power != nil {
+		// The closed-loop governor owns the thermal timeline (its overlay
+		// replaces static steps); refuse the ambiguous combination.
+		for _, e := range s.Events {
+			if e.Kind == ThermalThrottle {
+				return nil, fmt.Errorf("fault: plan %q: %w", s.Name, ErrThermalConflict)
+			}
+		}
+	}
 	if s == nil || len(s.Events) == 0 {
 		p := &Plan{topo: topo}
 		if s != nil {
@@ -299,29 +332,56 @@ func (p *Plan) Events() []Event {
 	return p.events
 }
 
-// Empty reports whether the plan injects no faults at all.
-func (p *Plan) Empty() bool { return p == nil || len(p.events) == 0 }
+// Empty reports whether the plan injects no faults at all. A plan hosting
+// a dynamic overlay is never empty: the governor may append state at any
+// time.
+func (p *Plan) Empty() bool { return p == nil || (len(p.events) == 0 && p.ov == nil) }
 
-// CoreDown reports whether core c is offline at virtual time t.
+// CoreDown reports whether core c is offline at virtual time t, by the
+// static timelines or an overlay park of the core's chiplet.
 func (p *Plan) CoreDown(c topology.CoreID, t int64) bool {
-	if p == nil || int(c) >= len(p.coreDown) {
+	if p == nil {
 		return false
 	}
-	_, down := spanAt(p.coreDown[c], t)
-	return down
+	if int(c) < len(p.coreDown) {
+		if _, down := spanAt(p.coreDown[c], t); down {
+			return true
+		}
+	}
+	if o := p.ov; o != nil {
+		if _, down := o.parked(o.topo.ChipletOf(c), t); down {
+			return true
+		}
+	}
+	return false
 }
 
 // CoreUpAt returns the earliest virtual time >= t at which core c is
 // online (t itself when the core is already up, Forever when it never
-// returns).
+// returns). Static down-windows and overlay park spans can abut or
+// overlap, so the answer iterates until neither covers it.
 func (p *Plan) CoreUpAt(c topology.CoreID, t int64) int64 {
-	if p == nil || int(c) >= len(p.coreDown) {
+	if p == nil {
 		return t
 	}
-	if s, down := spanAt(p.coreDown[c], t); down {
-		return s.to
+	up := t
+	for {
+		next := up
+		if int(c) < len(p.coreDown) {
+			if s, down := spanAt(p.coreDown[c], next); down {
+				next = s.to
+			}
+		}
+		if o := p.ov; o != nil && next != Forever {
+			if end, down := o.parked(o.topo.ChipletOf(c), next); down {
+				next = end
+			}
+		}
+		if next == up {
+			return up
+		}
+		up = next
 	}
-	return t
 }
 
 // CoresDown counts offline cores at virtual time t.
@@ -330,6 +390,16 @@ func (p *Plan) CoresDown(t int64) int {
 		return 0
 	}
 	n := 0
+	if o := p.ov; o != nil {
+		// With an overlay armed the static slices may be empty (an empty
+		// compiled plan hosting only dynamic state), so count by topology.
+		for c := 0; c < o.topo.NumCores(); c++ {
+			if p.CoreDown(topology.CoreID(c), t) {
+				n++
+			}
+		}
+		return n
+	}
 	for c := range p.coreDown {
 		if _, down := spanAt(p.coreDown[c], t); down {
 			n++
@@ -366,22 +436,54 @@ func (p *Plan) MemMilli(n topology.NodeID, t int64) int64 {
 }
 
 // ThermalMilli returns the compute-slowdown factor for chiplet ch at t, in
-// milli-units.
+// milli-units. Once a dynamic overlay step is in effect it replaces the
+// static timeline (the governor owns thermal state from its first append).
 func (p *Plan) ThermalMilli(ch topology.ChipletID, t int64) int64 {
-	if p == nil || int(ch) >= len(p.therm) {
+	if p == nil {
 		return 1000
 	}
-	return milliAt(p.therm[ch], t)
+	m := int64(1000)
+	if int(ch) < len(p.therm) {
+		m = milliAt(p.therm[ch], t)
+	}
+	if o := p.ov; o != nil {
+		if om, _, active := o.thermalSegment(ch, t); active {
+			m = om
+		}
+	}
+	return m
 }
 
 // ThermalSegment returns the compute-slowdown factor for chiplet ch at t
 // together with the first virtual time >= t at which the factor may change
 // (Forever when it never does). The pair describes one segment of the
-// compiled step function, so hot paths can cache the factor and re-query
-// only at segment boundaries.
+// step function, so hot paths can cache the factor and re-query only at
+// segment boundaries.
+//
+// With a dynamic overlay attached, an overlay step in effect at t takes
+// precedence over the static timeline, and the reported boundary is
+// additionally capped at the next governor tick: the governor only
+// appends new steps as clocks cross tick boundaries, so the cap is what
+// keeps cached segments from outliving a future append.
 func (p *Plan) ThermalSegment(ch topology.ChipletID, t int64) (milli, until int64) {
-	if p == nil || int(ch) >= len(p.therm) {
+	if p == nil {
 		return 1000, Forever
 	}
-	return segmentAt(p.therm[ch], t)
+	milli, until = 1000, Forever
+	if int(ch) < len(p.therm) {
+		milli, until = segmentAt(p.therm[ch], t)
+	}
+	o := p.ov
+	if o == nil {
+		return milli, until
+	}
+	if om, ou, active := o.thermalSegment(ch, t); active {
+		milli, until = om, ou
+	} else if ou < until {
+		until = ou
+	}
+	if b := o.nextBoundary(t); b < until {
+		until = b
+	}
+	return milli, until
 }

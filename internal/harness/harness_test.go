@@ -51,8 +51,8 @@ func TestTablePrintAndLookup(t *testing.T) {
 func TestRegistry(t *testing.T) {
 	o := testOptions()
 	ids := o.IDs()
-	if len(ids) != 19 {
-		t.Errorf("expected 19 experiments, got %d: %v", len(ids), ids)
+	if len(ids) != 20 {
+		t.Errorf("expected 20 experiments, got %d: %v", len(ids), ids)
 	}
 	if _, err := o.Run("nope"); err == nil {
 		t.Error("unknown id must error")
@@ -469,5 +469,83 @@ func TestOverloadShape(t *testing.T) {
 	}
 	if shed2[reproCol] != "yes" {
 		t.Errorf("shed-2x replay not byte-identical")
+	}
+}
+
+// TestThermalShape asserts the thermal-cliff experiment's acceptance
+// shape: with the closed-loop governor running, thermal-aware dispatch
+// keeps the hot die out of the emergency tier (zero parks, peak below the
+// park setpoint) and spends less energy than blind round-robin, which
+// parks repeatedly and peaks at the setpoint; at 130% overdrive the
+// governor still parks but the service degrades gracefully — every job
+// accounted for. The closed-loop cell replays byte for byte, plane state
+// included.
+func TestThermalShape(t *testing.T) {
+	tab := testOptions().Thermal()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	softCol, parksCol := tab.Col("soft"), tab.Col("parks")
+	maxTCol, energyCol := tab.Col("maxT_C"), tab.Col("energy_mJ")
+	complCol, shedCol, expCol := tab.Col("completed"), tab.Col("shed"), tab.Col("expired")
+	goodCol, reproCol := tab.Col("goodput_pct"), tab.Col("repro")
+	get := func(name string) []string {
+		r := tab.Find(name)
+		if r == nil {
+			t.Fatalf("missing row %q", name)
+		}
+		return r
+	}
+	off, closed := get("plane-off"), get("closed-loop")
+	rr, over := get("static-rr"), get("overdrive-1.3x")
+
+	// The plane-off baseline has no thermal state to report.
+	for _, col := range []int{softCol, parksCol, maxTCol, energyCol} {
+		if off[col] != "-" {
+			t.Errorf("plane-off thermal cell = %q, want -", off[col])
+		}
+	}
+	// At 70% load everything completes under every configuration.
+	for _, r := range [][]string{off, closed, rr} {
+		if r[complCol] != "300" {
+			t.Errorf("%s completed = %s, want 300", r[0], r[complCol])
+		}
+	}
+	// Thermal-aware dispatch: governor engaged (soft tier visited) but the
+	// hot die never reaches the emergency tier.
+	if parse(t, closed[softCol]) == 0 {
+		t.Error("closed-loop: governor never entered the soft tier")
+	}
+	if p := parse(t, closed[parksCol]); p != 0 {
+		t.Errorf("closed-loop parked %v times; thermal-aware dispatch must avoid the cliff", p)
+	}
+	if mt := parse(t, closed[maxTCol]); mt >= 85 {
+		t.Errorf("closed-loop peak %v C reached the park setpoint", mt)
+	}
+	if closed[reproCol] != "yes" {
+		t.Error("closed-loop replay not byte-identical")
+	}
+	// Blind dispatch pays the cliff: emergency parks, a hotter peak, and
+	// more energy for the same completed work.
+	if parse(t, rr[parksCol]) == 0 {
+		t.Error("static-rr never parked; the cliff did not materialize")
+	}
+	if parse(t, rr[maxTCol]) <= parse(t, closed[maxTCol]) {
+		t.Errorf("static-rr peak %s C not above closed-loop %s C", rr[maxTCol], closed[maxTCol])
+	}
+	if parse(t, rr[energyCol]) <= parse(t, closed[energyCol]) {
+		t.Errorf("static-rr energy %s mJ not above closed-loop %s mJ", rr[energyCol], closed[energyCol])
+	}
+	// Overdrive: the governor parks with no placement slack, yet the
+	// service stays alive — the whole stream is accounted for and goodput
+	// holds up.
+	if parse(t, over[parksCol]) == 0 {
+		t.Error("overdrive never parked")
+	}
+	if n := parse(t, over[complCol]) + parse(t, over[shedCol]) + parse(t, over[expCol]); n != 300 {
+		t.Errorf("overdrive accounted for %v of 300 jobs", n)
+	}
+	if g := parse(t, over[goodCol]); g < 50 {
+		t.Errorf("overdrive goodput %v%%; degradation should be graceful, not a collapse", g)
 	}
 }

@@ -27,6 +27,7 @@ func (o Options) Experiments() map[string]func() *Table {
 		"gran":     o.Granularity,
 		"chaos":    o.Chaos,
 		"overload": o.Overload,
+		"thermal":  o.Thermal,
 	}
 }
 

@@ -34,6 +34,12 @@ type Snapshot struct {
 	// BreakerOpen[ch] marks chiplets whose circuit breaker currently
 	// refuses placements (nil = all admitting).
 	BreakerOpen []bool
+	// TempMilliC[ch] is chiplet ch's junction temperature from the
+	// closed-loop power plane in milli-°C (nil = no thermal signal).
+	TempMilliC []int64
+	// TempSoftMilliC is the governor's soft-throttle setpoint in milli-°C;
+	// the thermal scorers measure headroom against it (0 = no signal).
+	TempSoftMilliC int64
 }
 
 // View is an immutable placement snapshot of one machine at one virtual
@@ -53,6 +59,10 @@ type View struct {
 	// is the breaker's hard refusal flag.
 	health  []int64
 	refused []bool
+	// temp[ch] is the junction temperature in milli-°C and tempSoft the
+	// governor's soft setpoint; both nil/0 when no power plane runs.
+	temp     []int64
+	tempSoft int64
 }
 
 // NewView builds a View of ranks' machine at virtual time now from
@@ -70,6 +80,8 @@ func NewView(r *Ranks, now int64, s Snapshot) *View {
 		depth:      s.QueueDepth,
 		health:     make([]int64, nch),
 		refused:    s.BreakerOpen,
+		temp:       s.TempMilliC,
+		tempSoft:   s.TempSoftMilliC,
 	}
 	if v.live == nil {
 		v.live = make([]bool, n)
@@ -152,6 +164,39 @@ func (v *View) HealthMilli(ch topology.ChipletID) int64 { return v.health[ch] }
 // IsRefused reports whether chiplet ch's breaker refuses placements.
 func (v *View) IsRefused(ch topology.ChipletID) bool { return v.refused[ch] }
 
+// TempMilliC returns chiplet ch's junction temperature in milli-°C, or 0
+// when the view carries no thermal signal.
+func (v *View) TempMilliC(ch topology.ChipletID) int64 {
+	if v.temp == nil {
+		return 0
+	}
+	return v.temp[ch]
+}
+
+// TempSoftMilliC returns the governor's soft-throttle setpoint in
+// milli-°C, or 0 when the view carries no thermal signal.
+func (v *View) TempSoftMilliC() int64 { return v.tempSoft }
+
+// thermalGuardMilliC is the guard band below the soft setpoint where the
+// thermal scorers begin steering work away: a chiplet within 10 °C of
+// soft throttling is already a bad place for more heat.
+const thermalGuardMilliC = 10_000
+
+// thermalPenalty converts a chiplet's temperature into a scorer penalty:
+// zero with ample headroom, then one (1<<20)-scaled unit per °C past the
+// guard band — large enough to dominate any topological distance, so a
+// cool remote chiplet beats a hot local one.
+func (v *View) thermalPenalty(ch topology.ChipletID) int64 {
+	if v.temp == nil || v.tempSoft == 0 {
+		return 0
+	}
+	over := v.temp[ch] - (v.tempSoft - thermalGuardMilliC)
+	if over <= 0 {
+		return 0
+	}
+	return over * (1 << 20) / 1000
+}
+
 // Constraint is a composable candidate filter: it reports whether core c
 // is eligible in view v.
 type Constraint func(v *View, c topology.CoreID) bool
@@ -190,6 +235,19 @@ func LeastLoaded() Scorer {
 			s += v.depth[w]
 		}
 		return s
+	}
+}
+
+// ThermalHeadroom prefers cores topologically close to from while trading
+// that proximity against projected temperature headroom: candidates on
+// chiplets inside the guard band of the governor's soft setpoint (or over
+// it) pay thermalPenalty, so sustained hot work spreads across the
+// package before the governor has to throttle anyone. On views without a
+// thermal signal it reduces exactly to Nearest.
+func ThermalHeadroom(from topology.CoreID) Scorer {
+	return func(v *View, c topology.CoreID) int64 {
+		s := int64(v.ranks.pos[from][c])
+		return s + v.thermalPenalty(v.ranks.topo.ChipletOf(c))
 	}
 }
 
@@ -320,14 +378,17 @@ func (v *View) ChipletDepth(ch topology.ChipletID) int64 {
 // ChipletsByPreference orders every chiplet hosting at least one worker
 // on a live core for dispatch: breaker-admitting chiplets before refused
 // ones (refused chiplets stay listed last so half-open probes can still
-// reach them), then healthier fused milli, then lower aggregate queue
-// depth. Remaining ties rotate deterministically with cursor so
-// equally-good chiplets share work round-robin.
+// reach them), then healthier fused milli, then cooler thermal band (2 °C
+// buckets inside the soft setpoint's guard band — a no-op without a
+// thermal signal), then lower aggregate queue depth. Remaining ties
+// rotate deterministically with cursor so equally-good chiplets share
+// work round-robin.
 func (v *View) ChipletsByPreference(cursor int) []topology.ChipletID {
 	topo := v.ranks.topo
 	nch := topo.NumChiplets()
 	type cand struct {
 		ch    topology.ChipletID
+		band  int64
 		depth int64
 		rot   int
 	}
@@ -345,7 +406,13 @@ func (v *View) ChipletsByPreference(cursor int) []topology.ChipletID {
 		if !hasLive {
 			continue
 		}
-		cands = append(cands, cand{id, depth, ((ch-cursor)%nch + nch) % nch})
+		var band int64
+		if v.temp != nil && v.tempSoft != 0 {
+			if over := v.temp[ch] - (v.tempSoft - thermalGuardMilliC); over > 0 {
+				band = over/2000 + 1
+			}
+		}
+		cands = append(cands, cand{id, band, depth, ((ch-cursor)%nch + nch) % nch})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		a, b := cands[i], cands[j]
@@ -354,6 +421,9 @@ func (v *View) ChipletsByPreference(cursor int) []topology.ChipletID {
 		}
 		if v.health[a.ch] != v.health[b.ch] {
 			return v.health[a.ch] < v.health[b.ch]
+		}
+		if a.band != b.band {
+			return a.band < b.band
 		}
 		if a.depth != b.depth {
 			return a.depth < b.depth

@@ -41,6 +41,10 @@ const (
 	// through the compute pipeline (the Fig. 11 "throughput" numerator).
 	BytesRead
 	BytesWritten
+	// ComputeNS accumulates virtual ns of pure CPU work charged via
+	// Ctx.Compute — the busy-time proxy the energy model (internal/power)
+	// converts to dynamic compute power.
+	ComputeNS
 
 	numEvents
 )
@@ -52,7 +56,7 @@ var eventNames = [NumEvents]string{
 	"fill.l2", "fill.l3_local", "fill.l3_remote_near", "fill.l3_remote_far",
 	"fill.l3_remote_socket", "fill.dram_local", "fill.dram_remote",
 	"task.run", "task.steal", "task.steal_remote_chiplet", "migration",
-	"ctx_switch", "bytes.read", "bytes.written",
+	"ctx_switch", "bytes.read", "bytes.written", "compute.ns",
 }
 
 // String returns the counter's name.
