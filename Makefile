@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify fuzz-smoke bench bench-smoke trace metrics clean
+.PHONY: build test verify fuzz-smoke bench bench-smoke bench-gate trace metrics clean
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,7 @@ verify:
 	$(GO) test -race ./internal/obs/... ./internal/core/...
 	$(GO) test -race -run TestMachineAccessRaceStress ./internal/sim/
 	$(GO) test -race -count=2 -run TestPowerReplayBitIdentical ./internal/core/
+	$(GO) test -race -count=2 -run TestTenantIsolationReplay ./internal/core/
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke
 
@@ -59,6 +60,7 @@ fuzz-smoke:
 	$(GO) test ./internal/task/ -run xxx -fuzz '^FuzzInboxSequential$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -run xxx -fuzz '^FuzzUpdateLocationCollisionFree$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sim/ -run xxx -fuzz '^FuzzMachineAccess$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tenant/ -run xxx -fuzz '^FuzzParseSpec$$' -fuzztime $(FUZZTIME)
 
 # bench runs the tier-1 benchmarks (-benchmem) and records the simulator
 # access-path numbers (directory vs broadcast-scan) into
@@ -85,6 +87,18 @@ bench:
 	$(GO) test ./internal/core/ -run xxx -bench BenchmarkPower -benchtime 1s -benchmem \
 		| $(GO) run ./cmd/benchjson -o BENCH_power.json \
 		-note "closed-loop thermal/energy plane: access = hot-line read loop with the plane off vs armed-but-idle (per-access PMU cost), tick = one governor evaluation (energy integration, RC step, tier logic) per chiplet tick"
+
+# bench-gate reruns the engine and placement benchmarks and diffs them
+# against the checked-in records, failing on any >15% ns/op regression
+# (override with GATE_THRESHOLD). Run it before committing changes to the
+# hot paths; make bench refreshes the records when a delta is deliberate.
+GATE_THRESHOLD ?= 15
+
+bench-gate:
+	$(GO) test ./internal/core/ -run xxx -bench BenchmarkEngine -benchtime 1s -benchmem \
+		| $(GO) run ./cmd/benchjson -gate BENCH_engine.json -gate-threshold $(GATE_THRESHOLD)
+	$(GO) test ./internal/place/ -run xxx -bench BenchmarkPlacement -benchtime 1s -benchmem \
+		| $(GO) run ./cmd/benchjson -gate BENCH_placement.json -gate-threshold $(GATE_THRESHOLD)
 
 # Observability smoke runs: a Chrome trace and a Prometheus metrics dump
 # from the quickstart workload.

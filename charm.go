@@ -41,6 +41,7 @@ import (
 	"charm/internal/pmu"
 	"charm/internal/power"
 	"charm/internal/sim"
+	"charm/internal/tenant"
 	"charm/internal/topology"
 )
 
@@ -137,6 +138,15 @@ type (
 	PowerSnapshot = power.Snapshot
 	// PowerPlane is the live closed-loop governor (Runtime.Power).
 	PowerPlane = power.Plane
+	// TenantSpec is one tenant's admission contract on a multi-tenant job
+	// service: fair-share weight, guaranteed chiplet quota, token-bucket
+	// rate limit, and overflow policy (see ParseTenantSpec).
+	TenantSpec = tenant.Spec
+	// TenantConfig pairs a TenantSpec with the tenant's arrival source
+	// for JobServiceOptions.Tenants.
+	TenantConfig = core.TenantConfig
+	// TenantStats is one tenant's admission and lease ledger.
+	TenantStats = core.TenantStats
 )
 
 // DefaultPowerModel returns the generic compute-chiplet energy model.
@@ -201,7 +211,18 @@ var (
 	// ErrHopeless reports a deadline-aware shed of an arrival whose
 	// remaining budget is below its estimated service time.
 	ErrHopeless = admit.ErrHopeless
+	// ErrUnknownTenant reports a submission naming no configured tenant.
+	ErrUnknownTenant = core.ErrUnknownTenant
+	// ErrRateLimited reports a submission refused by its tenant's token
+	// bucket.
+	ErrRateLimited = core.ErrRateLimited
 )
+
+// ParseTenantSpec parses the tenant-spec grammar
+// "[tenant:]name[,weight[,quota]][,key=value...]" (keys: weight, quota,
+// class, gap, burst, queue, policy) into a TenantSpec; Spec.String
+// round-trips the canonical form.
+var ParseTenantSpec = tenant.ParseSpec
 
 // ParseAdmitPolicy parses "block", "reject", or "shed".
 var ParseAdmitPolicy = admit.ParsePolicy
@@ -212,6 +233,20 @@ var NewPoissonArrivals = admit.NewPoisson
 
 // NewTraceArrivals replays a fixed arrival-time sequence.
 var NewTraceArrivals = admit.NewTrace
+
+// NewDiurnalArrivals builds a seeded Poisson process whose rate swings
+// sinusoidally around the mean gap with the given period and amplitude —
+// the multi-tenant harness's daily-wave tenant.
+var NewDiurnalArrivals = admit.NewDiurnal
+
+// NewFlashCrowdArrivals builds a seeded Poisson process that multiplies
+// its rate by factor inside a periodic burst window — the noisy-neighbor
+// tenant of the isolation experiment.
+var NewFlashCrowdArrivals = admit.NewFlashCrowd
+
+// NewHeavyHitterArrivals builds a seeded Pareto-gap arrival process:
+// bursts of closely spaced arrivals separated by heavy-tailed lulls.
+var NewHeavyHitterArrivals = admit.NewHeavyHitter
 
 // NewFaultSchedule starts an empty fault schedule; chain its builder
 // methods (OfflineCore, LinkBrownout, ...) to populate it.

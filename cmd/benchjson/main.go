@@ -20,6 +20,11 @@
 // shell command after the benches are parsed, wall-clocks it, and records
 // the measurement in the document's end_to_end field, so macro numbers in
 // checked-in records come from the machine, not from hand-edited notes.
+//
+// -gate compares the run against a checked-in document like -baseline but
+// exits non-zero when any benchmark's ns/op regressed by more than
+// -gate-threshold percent (default 15) — the CI regression gate. Benches
+// new in this run pass; benches only in the record are ignored.
 package main
 
 import (
@@ -70,6 +75,8 @@ func main() {
 	endToEnd := flag.String("end-to-end", "", "end-to-end measurement note recorded in the document")
 	baseline := flag.String("baseline", "", "compare against a prior BENCH_*.json and print per-bench deltas")
 	timeCmd := flag.String("time-cmd", "", "run CMD via the shell, record its wall time as the end_to_end measurement")
+	gate := flag.String("gate", "", "fail (exit 1) when any ns/op regresses past -gate-threshold vs this BENCH_*.json")
+	gateThreshold := flag.Float64("gate-threshold", 15, "allowed ns/op regression percentage for -gate")
 	flag.Parse()
 
 	doc := Doc{Note: *note, EndToEnd: *endToEnd}
@@ -105,6 +112,11 @@ func main() {
 	}
 	if *baseline != "" {
 		printDeltas(*baseline, doc.Benches)
+	}
+	if *gate != "" {
+		if !gateBenches(*gate, doc.Benches, *gateThreshold) {
+			os.Exit(1)
+		}
 	}
 	if *timeCmd != "" {
 		doc.EndToEnd = measureCmd(*timeCmd)
@@ -166,6 +178,51 @@ func printDeltas(path string, benches []Bench) {
 		fmt.Printf("  %-48s %12.4g -> %-10.4g ns/op%-9s %4d -> %-4d allocs/op\n",
 			b.Name, o.NsPerOp, b.NsPerOp, speed, o.AllocsPerOp, b.AllocsPerOp)
 	}
+}
+
+// gateBenches compares the run against the checked-in record and reports
+// whether every benchmark stayed within threshold percent of its recorded
+// ns/op. Every regression past the threshold is listed before the verdict
+// so one run surfaces all of them.
+func gateBenches(path string, benches []Bench, threshold float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return false
+	}
+	var old Doc
+	if err := json.Unmarshal(raw, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+		return false
+	}
+	prev := make(map[string]Bench, len(old.Benches))
+	for _, b := range old.Benches {
+		prev[b.Name] = b
+	}
+	ok := true
+	checked := 0
+	for _, b := range benches {
+		o, found := prev[b.Name]
+		if !found || o.NsPerOp <= 0 || b.NsPerOp <= 0 {
+			continue
+		}
+		checked++
+		pct := 100 * (b.NsPerOp - o.NsPerOp) / o.NsPerOp
+		if pct > threshold {
+			fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL %s: %.4g -> %.4g ns/op (+%.1f%% > %.0f%%)\n",
+				b.Name, o.NsPerOp, b.NsPerOp, pct, threshold)
+			ok = false
+		}
+	}
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: gate matched no benchmarks against %s\n", path)
+		return false
+	}
+	if ok {
+		fmt.Fprintf(os.Stderr, "benchjson: gate passed: %d benches within %.0f%% of %s\n",
+			checked, threshold, path)
+	}
+	return ok
 }
 
 // measureCmd runs cmd via the shell with output to stderr (stdout carries

@@ -37,6 +37,14 @@
 //	    critical-path breakdown. Trace IDs come from the critpath report
 //	    or the flight recorder's retained list.
 //
+//	charm-obs tenants [-factor N] [-fault]
+//	    Runs the deterministic multi-tenant isolation scenario (tenant A's
+//	    diurnal stream beside tenant B's flash crowd at N times its quota
+//	    rate) and prints the per-tenant post-mortem: goodput, p99 latency,
+//	    quota utilization, DRR dispatch share, the chiplet lease map, and
+//	    the shed/reject/rate-limit breakdown. -fault offlines one of A's
+//	    leased chiplets mid-run to show lease rebalance.
+//
 //	charm-obs power   [-load F] [-blind]
 //	    Runs the job stream over a heterogeneous package (one hot compute
 //	    die among three efficient ones) with the closed-loop thermal/energy
@@ -85,6 +93,8 @@ func main() {
 		cmdJob(os.Args[2:])
 	case "power":
 		cmdPower(os.Args[2:])
+	case "tenants":
+		cmdTenants(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -95,7 +105,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: charm-obs <trace|metrics|top|slo|critpath|job|power> [flags]
+	fmt.Fprint(os.Stderr, `usage: charm-obs <trace|metrics|top|slo|critpath|job|power|tenants> [flags]
 
   trace     write a Chrome trace-event JSON file (task spans + counter tracks)
   metrics   write the final metrics snapshot (Prometheus text and/or JSON)
@@ -104,9 +114,11 @@ func usage() {
   critpath  run the overload scenario; print critical-path attribution
   job <id>  run the overload scenario; print one job's trace and breakdown
   power     run the hot-die scenario; print the per-chiplet thermal/energy table
+  tenants   run the multi-tenant scenario; print the per-tenant isolation table
 
 Common flags: -workers N, -workload quickstart|phases|bfs (trace/metrics/top);
--load F, -thermal (slo/critpath/job); -load F, -blind (power).
+-load F, -thermal (slo/critpath/job); -load F, -blind (power);
+-factor N, -fault (tenants).
 Run 'charm-obs <subcommand> -h' for subcommand flags.
 `)
 }
@@ -568,6 +580,159 @@ func cmdPower(args []string) {
 			snap.SoftEvents[c], snap.HardEvents[c], snap.ParkEvents[c])
 	}
 	fmt.Printf("\ntotal energy: %.3f mJ\n", float64(totalPJ)/1e9)
+}
+
+// Tenant-scenario constants, mirroring the harness isolation experiment:
+// tenant A runs a diurnal stream well inside its 2-chiplet quota while
+// tenant B flash-crowds to -factor times its contracted rate, absorbed at
+// B's doorstep by its token bucket.
+const (
+	tnWorkers  = 8
+	tnTasks    = 4
+	tnTaskCost = 10_000
+	tnWork     = tnTasks * tnTaskCost
+	tnDeadline = 200_000
+	tnSeed     = 11
+	tnAJobs    = 240
+	tnAGap     = 26_000
+	tnBJobs    = 600
+	tnBGap     = 10_000
+)
+
+// cmdTenants runs the multi-tenant isolation scenario and prints the
+// per-tenant post-mortem: goodput, p99, quota utilization, dispatch
+// share, the lease map, and the shed/reject/rate-limit breakdown.
+func cmdTenants(args []string) {
+	fs := flag.NewFlagSet("charm-obs tenants", flag.ExitOnError)
+	factor := fs.Int("factor", 10, "tenant B's flash-crowd rate as a multiple of its quota rate")
+	withFault := fs.Bool("fault", false, "offline chiplet 0 (leased) mid-run to force a lease rebalance")
+	fs.Parse(args)
+
+	var faults *charm.FaultSchedule
+	if *withFault {
+		faults = charm.NewFaultSchedule("tenants-fault", tnSeed).
+			OfflineChiplet(0, 300_000, 1<<62)
+	}
+	rt, err := charm.Init(charm.Config{
+		Topology:      topology.Synthetic(4, 2),
+		Workers:       tnWorkers,
+		Deterministic: true,
+		Faults:        faults,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Finalize()
+
+	gen := func(prefix string) func(i int) charm.JobSpec {
+		return func(i int) charm.JobSpec {
+			stage := make(charm.JobStage, tnTasks)
+			for k := range stage {
+				stage[k] = func(ctx *charm.Ctx) { ctx.Compute(tnTaskCost) }
+			}
+			return charm.JobSpec{
+				Name:     fmt.Sprintf("%s-%d", prefix, i),
+				Deadline: tnDeadline,
+				Cost:     tnWork,
+				Stages:   []charm.JobStage{stage},
+			}
+		}
+	}
+	svc, err := rt.ServeJobs(charm.JobServiceOptions{
+		MaxInFlight:  256,
+		EvalInterval: 50_000,
+		Tenants: []charm.TenantConfig{
+			{
+				Spec: charm.TenantSpec{Name: "A", Weight: 1, Quota: 2,
+					Policy: charm.AdmitShed, QueueCap: 64},
+				Source: &charm.SpecSource{
+					Arrivals: charm.NewDiurnalArrivals(tnSeed, tnAGap, 1_000_000, 0.3, tnAJobs),
+					Gen:      gen("A"),
+				},
+			},
+			{
+				Spec: charm.TenantSpec{Name: "B", Weight: 1, Quota: 2,
+					GapNS: tnBGap, Burst: 4,
+					Policy: charm.AdmitShed, QueueCap: 64},
+				Source: &charm.SpecSource{
+					Arrivals: charm.NewFlashCrowdArrivals(tnSeed, tnBGap, 400_000, 200_000,
+						float64(*factor), tnBJobs),
+					Gen: gen("B"),
+				},
+			},
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	svc.Drain()
+
+	// Per-tenant latency distributions from the job ledger.
+	lats := map[string][]int64{}
+	for _, j := range svc.Jobs() {
+		if j.State() == charm.JobCompleted {
+			lats[j.Tenant()] = append(lats[j.Tenant()], j.Latency())
+		}
+	}
+	p99 := func(s []int64) float64 {
+		if len(s) == 0 {
+			return 0
+		}
+		c := append([]int64(nil), s...)
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		idx := (99*len(c) + 99) / 100
+		if idx > len(c) {
+			idx = len(c)
+		}
+		return float64(c[idx-1]) / 1000
+	}
+
+	stats := svc.TenantStats()
+	grants := svc.DispatchGrants()
+	var totalGrants int64
+	for _, g := range grants {
+		totalGrants += g
+	}
+	fmt.Printf("multi-tenant isolation: B bursting at %dx quota, fault=%v, "+
+		"virtual time %.3f ms\n\n", *factor, *withFault,
+		float64(rt.Engine().MaxWorkerClock())/1e6)
+	fmt.Println("tenant  submitted  admitted  completed  met  goodput%  p99_us  " +
+		"shed  rejected  rate_lim  leases  quota_util%  dispatch%")
+	for i, st := range stats {
+		goodput := 0.0
+		if st.Submitted > 0 {
+			goodput = 100 * float64(st.Met) / float64(st.Submitted)
+		}
+		quotaUtil := 0.0
+		if st.Quota > 0 {
+			quotaUtil = 100 * float64(st.Leases) / float64(st.Quota)
+		}
+		share := 0.0
+		if totalGrants > 0 && i < len(grants) {
+			share = 100 * float64(grants[i]) / float64(totalGrants)
+		}
+		fmt.Printf("%6s  %9d  %8d  %9d  %4d  %7.1f  %6.1f  %4d  %8d  %8d  %6d  %10.0f  %8.1f\n",
+			st.Name, st.Submitted, st.Admitted, st.Completed, st.Met, goodput,
+			p99(lats[st.Name]), st.Shed, st.Rejected, st.RateLimited,
+			st.Leases, quotaUtil, share)
+	}
+
+	// The chiplet lease map: which tenant owns which chiplet now.
+	names := svc.TenantNames()
+	owners := svc.LeaseOwners()
+	fmt.Print("\nlease map:")
+	for ch, o := range owners {
+		who := "free"
+		if o >= 0 && o < len(names) {
+			who = names[o]
+		}
+		fmt.Printf("  chiplet %d: %s", ch, who)
+	}
+	fmt.Println()
+	for _, st := range stats {
+		fmt.Printf("tenant %s lease churn: %d grants, %d reclaims\n",
+			st.Name, st.LeaseGrants, st.LeaseReclaims)
+	}
 }
 
 // writeTo opens path ("-" = stdout) and applies write.

@@ -1,0 +1,193 @@
+package admit
+
+import (
+	"sync"
+	"testing"
+
+	"charm/internal/fault"
+	"charm/internal/topology"
+)
+
+// emptyPlan compiles a healthy (event-free) fault plan for breaker tests.
+func emptyPlan(t *testing.T) *fault.Plan {
+	t.Helper()
+	plan, err := fault.New("healthy", 1).Compile(topology.Synthetic(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestEstimatorBankPerTenantFallback pins the per-tenant fallback fix: a
+// tenant with no history estimates from its own Cost hint even when other
+// tenants have accumulated a (very different) distribution.
+func TestEstimatorBankPerTenantFallback(t *testing.T) {
+	b := NewEstimatorBank(2, 0.5, 4)
+	// Tenant 0 runs heavyweight jobs: ~1ms service times.
+	for i := 0; i < 100; i++ {
+		b.Observe(0, 1_000_000)
+	}
+	// Tenant 1 is brand new with a 10µs hint. The estimate must be the
+	// hint, not tenant 0's megasample distribution.
+	if got := b.Estimate(1, 10_000); got != 10_000 {
+		t.Fatalf("fresh tenant estimate = %d, want the 10000 hint", got)
+	}
+	if got := b.Estimate(0, 10_000); got < 500_000 {
+		t.Fatalf("seasoned tenant estimate = %d, want ~1ms from its own history", got)
+	}
+	// Once tenant 1 has its own samples, they take over.
+	for i := 0; i < 10; i++ {
+		b.Observe(1, 20_000)
+	}
+	got := b.Estimate(1, 10_000)
+	if got < 10_000 || got > 100_000 {
+		t.Fatalf("seasoned tenant 1 estimate = %d, want ~20µs scale", got)
+	}
+	// Out-of-range tenants degrade to the hint, never panic.
+	if got := b.Estimate(7, 42); got != 42 {
+		t.Fatalf("unknown tenant estimate = %d, want hint", got)
+	}
+	b.Observe(-1, 1)
+	if b.Count(0) != 100 || b.Count(1) != 10 || b.Count(9) != 0 {
+		t.Fatalf("counts = %d/%d/%d", b.Count(0), b.Count(1), b.Count(9))
+	}
+}
+
+// TestArrivalShapes sanity-checks the tenant arrival processes: monotone
+// non-decreasing times, deterministic replay from the same seed, and the
+// shape property each models (diurnal wave, burst-window clumping, heavy
+// tail).
+func TestArrivalShapes(t *testing.T) {
+	collect := func(p ArrivalProcess) []int64 {
+		var at []int64
+		for {
+			v, ok := p.Next()
+			if !ok {
+				break
+			}
+			at = append(at, v)
+		}
+		return at
+	}
+	check := func(name string, a, b []int64, n int) {
+		t.Helper()
+		if len(a) != n {
+			t.Fatalf("%s yielded %d arrivals, want %d", name, len(a), n)
+		}
+		for i := 1; i < len(a); i++ {
+			if a[i] < a[i-1] {
+				t.Fatalf("%s: arrival %d (%d) before %d", name, i, a[i], a[i-1])
+			}
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: replay diverges at %d: %d vs %d", name, i, a[i], b[i])
+			}
+		}
+	}
+	const n = 2000
+	check("diurnal",
+		collect(NewDiurnal(9, 1000, 500_000, 0.8, n)),
+		collect(NewDiurnal(9, 1000, 500_000, 0.8, n)), n)
+	check("flash",
+		collect(NewFlashCrowd(9, 1000, 400_000, 100_000, 8, n)),
+		collect(NewFlashCrowd(9, 1000, 400_000, 100_000, 8, n)), n)
+	check("heavy",
+		collect(NewHeavyHitter(9, 1000, 1.5, n)),
+		collect(NewHeavyHitter(9, 1000, 1.5, n)), n)
+
+	// Flash crowd: gaps inside burst windows are much shorter on average.
+	fc := collect(NewFlashCrowd(9, 1000, 400_000, 100_000, 8, n))
+	var inSum, inN, outSum, outN int64
+	for i := 1; i < len(fc); i++ {
+		gap := fc[i] - fc[i-1]
+		phase := fc[i-1] % 400_000
+		if phase >= 200_000 && phase < 300_000 {
+			inSum, inN = inSum+gap, inN+1
+		} else {
+			outSum, outN = outSum+gap, outN+1
+		}
+	}
+	if inN == 0 || outN == 0 || inSum/inN >= outSum/outN/2 {
+		t.Fatalf("flash crowd burst gaps (%d/%d) not clearly shorter than base (%d/%d)",
+			inSum, inN, outSum, outN)
+	}
+
+	// Heavy hitter: the max gap dwarfs the median gap (heavy tail).
+	hh := collect(NewHeavyHitter(9, 1000, 1.2, n))
+	var maxGap int64
+	for i := 1; i < len(hh); i++ {
+		if g := hh[i] - hh[i-1]; g > maxGap {
+			maxGap = g
+		}
+	}
+	if maxGap < 10_000 {
+		t.Fatalf("heavy-hitter max gap %d not heavy-tailed vs 1000 mean", maxGap)
+	}
+}
+
+// TestBreakerHalfOpenProbeRace hammers a half-open breaker's Allow from
+// many goroutines under the owner-lock discipline the job service uses,
+// checking the probe budget is spent exactly once per unit: precisely
+// cfg.Probes placements may pass per probe round no matter how the
+// concurrent callers interleave, and an ambiguous Eval refills the budget
+// without leaking extra grants.
+func TestBreakerHalfOpenProbeRace(t *testing.T) {
+	cfg := DefaultBreakerConfig()
+	cfg.Probes = 4
+	set := NewSet(1, cfg)
+	var mu sync.Mutex
+
+	trip := func(now int64) {
+		mu.Lock()
+		set.EvalPlan(now, emptyPlan(t), func(int) int64 { return cfg.TripMilli })
+		mu.Unlock()
+	}
+	halfOpen := func(now int64) {
+		mu.Lock()
+		set.EvalPlan(now, emptyPlan(t), nil) // plan healthy → Open heals to HalfOpen
+		mu.Unlock()
+	}
+
+	trip(1)
+	if got := set.State(0); got != BreakerOpen {
+		t.Fatalf("state after trip = %v, want open", got)
+	}
+	halfOpen(2)
+	if got := set.State(0); got != BreakerHalfOpen {
+		t.Fatalf("state after heal signal = %v, want half-open", got)
+	}
+
+	const rounds = 8
+	const callers = 16
+	for r := 0; r < rounds; r++ {
+		var granted int64
+		var wg sync.WaitGroup
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < 8; k++ {
+					mu.Lock()
+					if set.Allow(0) {
+						granted++
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if granted != int64(cfg.Probes) {
+			t.Fatalf("round %d: %d probe grants, want exactly %d", r, granted, cfg.Probes)
+		}
+		// Ambiguous health (between heal and trip): the breaker stays
+		// half-open and re-arms exactly one fresh probe budget.
+		mu.Lock()
+		set.EvalPlan(int64(10+r), emptyPlan(t), func(int) int64 { return (cfg.HealMilli + cfg.TripMilli) / 2 })
+		st := set.State(0)
+		mu.Unlock()
+		if st != BreakerHalfOpen {
+			t.Fatalf("round %d: state %v, want half-open", r, st)
+		}
+	}
+}

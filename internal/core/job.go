@@ -10,6 +10,7 @@ import (
 	"charm/internal/admit"
 	"charm/internal/obs"
 	"charm/internal/place"
+	"charm/internal/tenant"
 )
 
 // This file implements the open-loop job service: jobs — multi-stage
@@ -56,6 +57,10 @@ type JobSpec struct {
 	// Coro runs the job's tasks as suspendable coroutines (cancellation
 	// points at every Yield).
 	Coro bool
+	// Tenant routes the job to a configured tenant on a multi-tenant
+	// service (empty selects the first tenant). Ignored — and must stay
+	// empty — on a single-tenant service.
+	Tenant string
 	// Stages are the job's task stages, run in order.
 	Stages []JobStage
 }
@@ -123,6 +128,7 @@ type Job struct {
 	started  int64        // dispatch time (set before state flips to Running)
 	finished atomic.Int64 // completion time (any terminal state)
 	stage    int          // next stage to dispatch; guarded by svc.mu
+	ten      int          // tenant index (-1 = single-tenant service)
 
 	// Trace bookkeeping for the currently running stage (guarded by
 	// svc.mu): dispatch time, index, and task count — the SpanStage
@@ -146,6 +152,15 @@ func (j *Job) Priority() int { return j.spec.Priority }
 
 // State returns the job's current lifecycle state.
 func (j *Job) State() JobState { return JobState(j.state.Load()) }
+
+// Tenant returns the owning tenant's name ("" on a single-tenant
+// service).
+func (j *Job) Tenant() string {
+	if j.ten >= 0 && j.svc != nil && j.ten < len(j.svc.tens) {
+		return j.svc.tens[j.ten].spec.Name
+	}
+	return ""
+}
 
 // Arrival returns the virtual arrival time.
 func (j *Job) Arrival() int64 { return j.arrival }
@@ -269,6 +284,13 @@ type JobServiceOptions struct {
 	SLO map[int]float64
 	// SLOBurn tunes the burn-rate windows (zero fields select defaults).
 	SLOBurn obs.BurnConfig
+	// Tenants enables the multi-tenant isolation plane: one admission
+	// queue, token bucket, and service-time estimator per tenant, a
+	// deficit-round-robin dispatch mux weighted by each tenant's share,
+	// and elastic chiplet-group leases with a guaranteed quota floor.
+	// Mutually exclusive with Source (each tenant carries its own);
+	// tenant quotas must not oversubscribe the machine's chiplets.
+	Tenants []TenantConfig
 }
 
 // JobStats summarizes a service's admission ledger.
@@ -344,6 +366,25 @@ type JobService struct {
 	// slowdown, fed to dispatch views; replaced wholesale at each eval.
 	obsMilli   []int64
 	everServed bool
+
+	// Multi-tenant isolation plane (all nil/empty on a single-tenant
+	// service; immutable after ServeJobs, contents guarded by mu).
+	tens    []*tenantRt
+	tenIdx  map[string]int
+	drr     *tenant.DRR
+	leases  *tenant.LeaseTable
+	estBank *admit.EstimatorBank
+	// leaseView is the lock-free chiplet→tenant ownership snapshot the
+	// steal path consults (republished after every Rebalance): a worker
+	// on a chiplet leased to one tenant does not import another tenant's
+	// queued tasks, so a flooding neighbor's backlog stays on its own
+	// lease instead of riding work stealing across the fence.
+	leaseView atomic.Pointer[[]int32]
+	// thermMilli inflates Shed-policy service-time estimates when the
+	// power plane's temperature forecast predicts chiplets crossing the
+	// soft setpoint (1000 = no inflation): jobs that would complete only
+	// at pre-throttle speed are shed before the cliff, not after.
+	thermMilli int64
 }
 
 // ServeJobs installs an open-loop job service on the runtime. At most one
@@ -403,6 +444,12 @@ func (rt *Runtime) ServeJobs(opts JobServiceOptions) (*JobService, error) {
 		}
 		s.sloCnt = map[int]*obs.Counter{}
 		s.sloBurn = map[int]*obs.Gauge{}
+	}
+	s.thermMilli = 1000
+	if len(opts.Tenants) > 0 {
+		if err := s.setupTenants(opts.Tenants); err != nil {
+			return nil, err
+		}
 	}
 	if opts.Source != nil {
 		s.advanceSource()
@@ -567,6 +614,7 @@ func (s *JobService) newJobLocked(arrival int64, spec JobSpec) *Job {
 		spec:    spec,
 		svc:     s,
 		arrival: arrival,
+		ten:     -1,
 		done:    make(chan struct{}),
 	}
 	if spec.Deadline > 0 {
@@ -579,6 +627,21 @@ func (s *JobService) newJobLocked(arrival int64, spec JobSpec) *Job {
 // admitLocked runs the admission decision for a job arriving at time at.
 // Returns the job handle and the typed refusal error, if any.
 func (s *JobService) admitLocked(at int64, spec JobSpec) (*Job, error) {
+	if s.tens != nil {
+		i, err := s.tenantOf(&spec)
+		if err != nil {
+			return nil, err
+		}
+		j := s.newJobLocked(at, spec)
+		j.ten = i
+		// A synchronous submission cannot be held upstream: a token-bucket
+		// miss refuses it outright under the tenant's policy.
+		if !s.tens[i].bucket.Take(at) {
+			s.rateLimitLocked(s.tens[i], j, at)
+			return j, ErrRateLimited
+		}
+		return j, s.offerTenantLocked(j)
+	}
 	j := s.newJobLocked(at, spec)
 	return j, s.offerLocked(j)
 }
@@ -588,6 +651,9 @@ func (s *JobService) offerLocked(j *Job) error {
 	s.stats.Submitted++
 	m := s.rt.met
 	est := s.est.Estimate(j.spec.Cost)
+	if s.q.Policy() == admit.Shed && s.thermMilli > 1000 {
+		est = est * s.thermMilli / 1000
+	}
 	evicted, err := s.q.Offer(j.arrival, admit.Entry{
 		Seq:      j.id,
 		Priority: j.spec.Priority,
@@ -678,6 +744,10 @@ func (s *JobService) finalizeLocked(j *Job, st JobState, now int64) {
 
 // updateNextWorkLocked recomputes the pump wake-up time. Caller holds mu.
 func (s *JobService) updateNextWorkLocked() {
+	if s.tens != nil {
+		s.updateNextWorkTenantsLocked()
+		return
+	}
 	next := int64(math.MaxInt64)
 	if s.q.Len() > 0 && s.inflight < s.opts.MaxInFlight {
 		next = 0 // dispatchable right now
@@ -700,6 +770,17 @@ func (s *JobService) updateNextWorkLocked() {
 
 // checkDrainedLocked closes the drained channel once nothing is pending.
 func (s *JobService) checkDrainedLocked() {
+	if s.tens != nil {
+		for _, tr := range s.tens {
+			if tr.srcOK || tr.pending != nil || tr.q.Len() > 0 {
+				return
+			}
+		}
+		if s.inflight == 0 && s.everServed {
+			s.drainOnce.Do(func() { close(s.drained) })
+		}
+		return
+	}
 	if !s.srcOK && s.pending == nil && s.q.Len() == 0 && s.inflight == 0 && s.everServed {
 		s.drainOnce.Do(func() { close(s.drained) })
 	}
@@ -725,6 +806,12 @@ func (s *JobService) pump(w *Worker, now int64) bool {
 	defer s.mu.Unlock()
 	did := false
 	s.everServed = true
+	if s.tens != nil {
+		did = s.pumpTenants(now)
+		s.updateNextWorkLocked()
+		s.checkDrainedLocked()
+		return did
+	}
 
 	// 1. Admit every arrival due by now. A Block-policy arrival that
 	// finds the queue full stays in the pending cursor — held upstream —
@@ -779,7 +866,11 @@ func (s *JobService) pump(w *Worker, now int64) bool {
 				s.finalizeLocked(j, JobExpired, now)
 				continue
 			}
-			if j.deadline != 0 && j.deadline-now < s.est.Estimate(j.spec.Cost) {
+			est := s.est.Estimate(j.spec.Cost)
+			if s.thermMilli > 1000 {
+				est = est * s.thermMilli / 1000
+			}
+			if j.deadline != 0 && j.deadline-now < est {
 				s.stats.Shed++
 				m.jobsShed.Add(0, 1)
 				s.finalizeLocked(j, JobShed, now)
@@ -826,6 +917,12 @@ func (s *JobService) evalLocked(now int64) {
 		if d > s.maxDepth[ch] {
 			s.maxDepth[ch] = d
 		}
+	}
+	// Pre-cliff shedding pressure from the thermal forecast, then lease
+	// arbitration (both are no-ops without a power plane / tenants).
+	s.updateThermLocked()
+	if s.tens != nil {
+		s.evalTenantsLocked(now)
 	}
 	if s.brk == nil {
 		return
@@ -913,6 +1010,9 @@ func (s *JobService) startLocked(j *Job, now int64) {
 	j.started = now
 	j.state.Store(int32(JobRunning))
 	s.inflight++
+	if t := s.tenantRtOf(j); t != nil {
+		t.inflight++
+	}
 	prio := clampPrio(j.spec.Priority)
 	h, ok := s.qwByPrio[prio]
 	if !ok {
@@ -947,7 +1047,7 @@ func (s *JobService) dispatchStageLocked(j *Job, now int64) {
 	g := newGroup()
 	g.job = j
 	g.add(int64(len(stage)))
-	wids := s.placeStageLocked(now, len(stage))
+	wids := s.placeStageLocked(now, len(stage), j.ten)
 	for i, fn := range stage {
 		wid := wids[i]
 		t := s.rt.newTask(fn, g, now, j.spec.Coro, wid)
@@ -965,7 +1065,14 @@ func (s *JobService) dispatchStageLocked(j *Job, now int64) {
 // past its retry window still sees the probe traffic it needs to heal.
 // The breaker's Allow remains the authoritative admission gate: it is
 // consulted (and its half-open probe budget consumed) per stage here.
-func (s *JobService) placeStageLocked(now int64, n int) []int {
+//
+// On a multi-tenant service (ten >= 0) the candidate walk is restricted
+// to the tenant's leased chiplets first: a bursting tenant stacks its own
+// lease's queues instead of its neighbors'. Only when the lease yields no
+// admissible live worker at all (every leased chiplet died or is breaker-
+// refused between rebalances) does the walk fall back to the whole
+// machine — isolation never starves a compliant tenant.
+func (s *JobService) placeStageLocked(now int64, n int, ten int) []int {
 	v := s.viewLocked(now)
 	out := make([]int, 0, n)
 	if s.opts.Placement == PlaceRoundRobin {
@@ -981,18 +1088,38 @@ func (s *JobService) placeStageLocked(now int64, n int) []int {
 	// next-preferred groups instead of stacking one group's queues.
 	chs := v.ChipletsByPreference(s.rr)
 	var cand []int
-	for _, ch := range chs {
-		if len(cand) >= n {
-			break
+	if ten >= 0 && s.leases != nil && s.leases.Held(ten) > 0 {
+		for _, ch := range chs {
+			if len(cand) >= n {
+				break
+			}
+			if s.leases.Owner(int(ch)) != ten {
+				continue
+			}
+			grp := v.LiveWorkersOn(ch)
+			if len(grp) == 0 {
+				continue
+			}
+			if s.brk != nil && !s.brk.Allow(int(ch)) {
+				continue
+			}
+			cand = append(cand, grp...)
 		}
-		grp := v.LiveWorkersOn(ch)
-		if len(grp) == 0 {
-			continue
+	}
+	if len(cand) == 0 {
+		for _, ch := range chs {
+			if len(cand) >= n {
+				break
+			}
+			grp := v.LiveWorkersOn(ch)
+			if len(grp) == 0 {
+				continue
+			}
+			if s.brk != nil && !s.brk.Allow(int(ch)) {
+				continue
+			}
+			cand = append(cand, grp...)
 		}
-		if s.brk != nil && !s.brk.Allow(int(ch)) {
-			continue
-		}
-		cand = append(cand, grp...)
 	}
 	for k := 0; k < n; k++ {
 		if len(cand) == 0 {
@@ -1053,14 +1180,39 @@ func (s *JobService) completeLocked(j *Job, now int64) {
 	s.stats.Completed++
 	m := s.rt.met
 	m.jobsCompleted.Add(0, 1)
-	s.est.Observe(now - j.started)
+	t := s.tenantRtOf(j)
+	if t != nil {
+		// Per-tenant estimator: service times feed only the owning
+		// tenant's distribution.
+		t.inflight--
+		s.estBank.Observe(j.ten, now-j.started)
+	} else {
+		s.est.Observe(now - j.started)
+	}
 	s.finalizeLocked(j, JobCompleted, now)
 	if j.MetDeadline() {
 		s.stats.Met++
 	}
+	if t != nil {
+		t.stats.Completed++
+		t.mDone.Add(0, 1)
+		if j.MetDeadline() {
+			t.stats.Met++
+		}
+		t.lat.ObserveT(0, now-j.arrival, obs.TraceID(j.id))
+	}
 	s.observeLatencyLocked(j, now-j.arrival)
 	s.updateNextWorkLocked()
 	s.checkDrainedLocked()
+}
+
+// tenantRtOf returns job j's tenant runtime, or nil on a single-tenant
+// service.
+func (s *JobService) tenantRtOf(j *Job) *tenantRt {
+	if j.ten >= 0 && j.ten < len(s.tens) {
+		return s.tens[j.ten]
+	}
+	return nil
 }
 
 // clampPrio clamps a priority to the [0, 7] label range.
@@ -1110,6 +1262,10 @@ func (s *JobService) stageDone(j *Job, g *group) {
 	case j.cancelled.Load():
 		s.inflight--
 		s.stats.Cancelled++
+		if t := s.tenantRtOf(j); t != nil {
+			t.inflight--
+			t.stats.Cancelled++
+		}
 		m.jobsCancelled.Add(0, 1)
 		s.finalizeLocked(j, JobCancelled, end)
 		s.updateNextWorkLocked()
@@ -1117,6 +1273,10 @@ func (s *JobService) stageDone(j *Job, g *group) {
 	case g.panicked.Load() != nil:
 		s.inflight--
 		s.stats.Failed++
+		if t := s.tenantRtOf(j); t != nil {
+			t.inflight--
+			t.stats.Failed++
+		}
 		j.err.Store(g.panicked.Load())
 		s.finalizeLocked(j, JobFailed, end)
 		s.updateNextWorkLocked()

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"charm/internal/admit"
+	"charm/internal/fault"
+	"charm/internal/sim"
+	"charm/internal/tenant"
+	"charm/internal/topology"
+)
+
+// tenantLedger is the full observable outcome of a multi-tenant run:
+// service totals, per-tenant ledgers, the lease map, DRR dispatch
+// grants, the final worker clock, and every job's (name, state, met,
+// latency) tuple. Two Deterministic runs must match it byte for byte.
+type tenantLedger struct {
+	Stats  JobStats
+	Tens   []TenantStats
+	Owners []int
+	Grants []int64
+	Clock  int64
+	Jobs   [][4]int64
+	Names  []string
+}
+
+// tenantReplayRun drives the isolation workload once: tenant A's diurnal
+// stream shares the machine with tenant B's 10x flash crowd, and a fault
+// offlines chiplet 0 — initially leased — a fifth of the way in.
+func tenantReplayRun(t *testing.T) tenantLedger {
+	t.Helper()
+	topo := topology.Synthetic(4, 2)
+	m := sim.New(sim.Config{Topo: topo})
+	plan := compilePlan(t, fault.New("tenant-replay", 3).
+		OfflineChiplet(0, 300_000, fault.Forever), topo)
+	rt := NewRuntime(m, Options{Workers: 8, Deterministic: true, Faults: plan})
+	rt.Start()
+	defer rt.Stop()
+
+	gen := func(deadline int64) func(i int) JobSpec {
+		return func(i int) JobSpec {
+			s := computeJob(4, 10_000, nil)
+			s.Deadline = deadline
+			s.Cost = 40_000
+			return s
+		}
+	}
+	svc, err := rt.ServeJobs(JobServiceOptions{
+		MaxInFlight:  256,
+		EvalInterval: 50_000,
+		Tenants: []TenantConfig{
+			{
+				Spec: tenant.Spec{Name: "A", Weight: 1, Quota: 2,
+					Policy: admit.Shed, QueueCap: 64},
+				Source: &SpecSource{
+					Arrivals: admit.NewDiurnal(11, 20_000, 1_000_000, 0.3, 80),
+					Gen:      gen(1_000_000),
+				},
+			},
+			{
+				Spec: tenant.Spec{Name: "B", Weight: 1, Quota: 2,
+					GapNS: 10_000, Burst: 4, Policy: admit.Shed, QueueCap: 64},
+				Source: &SpecSource{
+					Arrivals: admit.NewFlashCrowd(11, 10_000, 400_000, 200_000, 10, 200),
+					Gen:      gen(200_000),
+				},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Drain()
+
+	led := tenantLedger{
+		Stats:  svc.Stats(),
+		Tens:   svc.TenantStats(),
+		Owners: svc.LeaseOwners(),
+		Grants: svc.DispatchGrants(),
+		Clock:  rt.MaxWorkerClock(),
+	}
+	for _, j := range svc.Jobs() {
+		met := int64(0)
+		if j.MetDeadline() {
+			met = 1
+		}
+		led.Jobs = append(led.Jobs, [4]int64{int64(j.id), int64(j.State()), met, j.Latency()})
+		led.Names = append(led.Names, j.Name())
+	}
+	return led
+}
+
+// TestTenantIsolationReplay is the acceptance gate for the isolation
+// plane: the multi-tenant workload — per-tenant queues, token buckets,
+// DRR dispatch, elastic leases, AND a mid-run chiplet fault landing on a
+// leased chiplet — must replay byte for byte under Deterministic mode.
+// The guard assertions make the gate non-vacuous: the well-behaved
+// tenant finishes its whole stream (the fault rebalances leases, it does
+// not starve anyone), the flash crowd is rate-limited at its doorstep,
+// the fault forces lease churn beyond the initial grants, and both
+// tenants draw DRR dispatch slots.
+func TestTenantIsolationReplay(t *testing.T) {
+	base := tenantReplayRun(t)
+
+	var a, b TenantStats
+	for _, st := range base.Tens {
+		switch st.Name {
+		case "A":
+			a = st
+		case "B":
+			b = st
+		}
+	}
+	if a.Completed != 80 || a.Completed != a.Submitted {
+		t.Fatalf("tenant A starved: completed %d of %d submitted", a.Completed, a.Submitted)
+	}
+	if b.RateLimited == 0 {
+		t.Fatalf("tenant B's 10x flash crowd was never rate-limited: %+v", b)
+	}
+	if b.Completed == 0 {
+		t.Fatalf("tenant B fully starved: %+v", b)
+	}
+	// Initial arbitration grants each tenant its quota (4 grants total on 4
+	// chiplets); the chiplet-0 fault must force additional grants.
+	if n := a.LeaseGrants + b.LeaseGrants; n <= 4 {
+		t.Fatalf("lease grants = %d; fault forced no rebalance (A %+v, B %+v)", n, a, b)
+	}
+	for i, g := range base.Grants {
+		if g == 0 {
+			t.Fatalf("tenant %d drew no DRR dispatch slots: %v", i, base.Grants)
+		}
+	}
+	if len(base.Owners) != 4 {
+		t.Fatalf("lease map = %v, want 4 chiplets", base.Owners)
+	}
+
+	for run := 0; run < 2; run++ {
+		replay := tenantReplayRun(t)
+		if !reflect.DeepEqual(replay, base) {
+			t.Errorf("replay %d diverges:\n  base   %+v\n  replay %+v", run, base, replay)
+		}
+	}
+}
+
+// TestTenantSetupErrors: malformed tenant configurations must be
+// rejected at ServeJobs time, not discovered mid-run.
+func TestTenantSetupErrors(t *testing.T) {
+	rt := jobRuntime(t, Options{Deterministic: true})
+	mk := func(specs ...tenant.Spec) JobServiceOptions {
+		opts := JobServiceOptions{}
+		for _, sp := range specs {
+			opts.Tenants = append(opts.Tenants, TenantConfig{Spec: sp})
+		}
+		return opts
+	}
+	cases := []struct {
+		name string
+		opts JobServiceOptions
+	}{
+		{"empty name", mk(tenant.Spec{Weight: 1, Quota: 1})},
+		{"duplicate name", mk(
+			tenant.Spec{Name: "A", Weight: 1, Quota: 1},
+			tenant.Spec{Name: "A", Weight: 1, Quota: 1})},
+		{"quota oversubscribed", mk(
+			tenant.Spec{Name: "A", Weight: 1, Quota: 3},
+			tenant.Spec{Name: "B", Weight: 1, Quota: 2})},
+	}
+	for _, tc := range cases {
+		if _, err := rt.ServeJobs(tc.opts); err == nil {
+			t.Errorf("%s: ServeJobs accepted a bad config", tc.name)
+		}
+	}
+	// A global Source cannot be combined with per-tenant sources.
+	opts := mk(tenant.Spec{Name: "A", Weight: 1, Quota: 1})
+	opts.Source = &SpecSource{Arrivals: admit.NewPoisson(1, 1_000, 1),
+		Gen: func(i int) JobSpec { return computeJob(1, 100, nil) }}
+	if _, err := rt.ServeJobs(opts); err == nil {
+		t.Error("ServeJobs accepted a global Source alongside Tenants")
+	}
+}
+
+// TestTenantUnknownSubmit: submitting a job naming an unconfigured
+// tenant fails with ErrUnknownTenant; an empty tenant routes to the
+// first configured tenant.
+func TestTenantUnknownSubmit(t *testing.T) {
+	rt := jobRuntime(t, Options{Deterministic: true})
+	svc, err := rt.ServeJobs(JobServiceOptions{
+		Tenants: []TenantConfig{{Spec: tenant.Spec{Name: "A", Weight: 1, Quota: 1,
+			Policy: admit.Reject, QueueCap: 8}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := computeJob(1, 1_000, nil)
+	spec.Tenant = "ghost"
+	if _, err := rt.SubmitJob(spec); err == nil {
+		t.Error("SubmitJob accepted an unknown tenant")
+	}
+	spec.Tenant = ""
+	j, err := rt.SubmitJob(spec)
+	if err != nil {
+		t.Fatalf("SubmitJob with empty tenant: %v", err)
+	}
+	if got := j.Tenant(); got != "A" {
+		t.Errorf("empty tenant routed to %q, want A", got)
+	}
+	svc.Drain()
+}

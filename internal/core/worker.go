@@ -380,6 +380,15 @@ func (w *Worker) steal() *Task {
 		if t == nil {
 			continue
 		}
+		// Multi-tenant lease fence: don't import another tenant's task onto
+		// a chiplet leased away from it — a bursting tenant's backlog must
+		// drain on its own lease, not ride stealing across the fence. A
+		// blocked victim is exempt (its queue cannot drain itself).
+		if svc := w.rt.svc.Load(); svc != nil && !v.blocked.Load() &&
+			!svc.stealAllowed(int(selfCh), t) {
+			v.inbox.Put(t)
+			continue
+		}
 		if t.pinned {
 			if hw := w.rt.workers[t.home]; !hw.blocked.Load() {
 				// Pinned tasks must run on their home worker; return it.

@@ -51,8 +51,8 @@ func TestTablePrintAndLookup(t *testing.T) {
 func TestRegistry(t *testing.T) {
 	o := testOptions()
 	ids := o.IDs()
-	if len(ids) != 20 {
-		t.Errorf("expected 20 experiments, got %d: %v", len(ids), ids)
+	if len(ids) != 21 {
+		t.Errorf("expected 21 experiments, got %d: %v", len(ids), ids)
 	}
 	if _, err := o.Run("nope"); err == nil {
 		t.Error("unknown id must error")
@@ -469,6 +469,74 @@ func TestOverloadShape(t *testing.T) {
 	}
 	if shed2[reproCol] != "yes" {
 		t.Errorf("shed-2x replay not byte-identical")
+	}
+}
+
+// TestTenantsShape asserts the multi-tenant isolation experiment's
+// acceptance shape: with per-tenant queues, token buckets, DRR dispatch,
+// and chiplet leases, tenant B's 10x flash crowd leaves tenant A's p99
+// within 2x of A's solo run, while the shared-heap baseline blows past
+// 10x; B's flood is contained by rate limiting, not starvation; the
+// fault row rebalances A's lease instead of stalling A; and the isolated
+// run replays byte for byte.
+func TestTenantsShape(t *testing.T) {
+	tab := testOptions().Tenants()
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tab.Rows))
+	}
+	complCol, metCol := tab.Col("completed"), tab.Col("met")
+	limCol, contCol := tab.Col("rate_limited"), tab.Col("containment_x")
+	leaseCol, evCol := tab.Col("leases"), tab.Col("lease_ev")
+	reproCol := tab.Col("repro")
+	get := func(run, tenant string) []string {
+		for _, r := range tab.Rows {
+			if r[0] == run && r[1] == tenant {
+				return r
+			}
+		}
+		t.Fatalf("missing row (%s, %s)", run, tenant)
+		return nil
+	}
+	solo, baseA := get("solo", "A"), get("shared-heap", "A")
+	isoA, isoB := get("isolated", "A"), get("isolated", "B")
+	fltA := get("isolated-fault", "A")
+
+	// A completes its whole stream in every configuration — isolation and
+	// faults must never starve the well-behaved tenant.
+	for _, r := range [][]string{solo, baseA, isoA, fltA} {
+		if r[complCol] != "240" {
+			t.Errorf("%s/%s completed = %s, want 240", r[0], r[1], r[complCol])
+		}
+	}
+	// The containment guarantee: isolated A within 2x of solo, while the
+	// shared heap lets B's flood push A past 10x.
+	if c := parse(t, isoA[contCol]); c > 2.0 {
+		t.Errorf("isolated A containment %.1fx, want <= 2x of solo", c)
+	}
+	if c := parse(t, baseA[contCol]); c <= 10 {
+		t.Errorf("shared-heap A containment %.1fx, want > 10x (noisy neighbor)", c)
+	}
+	// B's flood is absorbed at its doorstep: the token bucket rate-limits
+	// the excess and everything B does admit, it completes on time.
+	if parse(t, isoB[limCol]) == 0 {
+		t.Error("isolated B: flash crowd was never rate-limited")
+	}
+	if isoB[complCol] != isoB[metCol] {
+		t.Errorf("isolated B: completed %s != met %s; admitted work must meet "+
+			"its deadline under isolation", isoB[complCol], isoB[metCol])
+	}
+	// Steady state grants each tenant its quota of 2 chiplets.
+	if isoA[leaseCol] != "2" || isoB[leaseCol] != "2" {
+		t.Errorf("isolated leases A=%s B=%s, want 2/2", isoA[leaseCol], isoB[leaseCol])
+	}
+	// The fault row reshuffles leases (more lease events than the fault-free
+	// run) but A still finishes everything.
+	if parse(t, fltA[evCol]) <= parse(t, isoA[evCol]) {
+		t.Errorf("fault run lease events %s not above fault-free %s; no rebalance",
+			fltA[evCol], isoA[evCol])
+	}
+	if isoA[reproCol] != "yes" {
+		t.Error("isolated replay not byte-identical")
 	}
 }
 

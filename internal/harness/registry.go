@@ -28,6 +28,7 @@ func (o Options) Experiments() map[string]func() *Table {
 		"chaos":    o.Chaos,
 		"overload": o.Overload,
 		"thermal":  o.Thermal,
+		"tenants":  o.Tenants,
 	}
 }
 

@@ -73,6 +73,10 @@ const (
 	// SpanSLOAlert is an instant: a burn-rate alert fired (Arg2=1) or
 	// cleared (Arg2=0) for priority class Arg.
 	SpanSLOAlert
+	// SpanLease is an instant: a chiplet-group lease changed hands.
+	// Chiplet locates it; Arg is the new tenant index (-1 = freed), Arg2
+	// the previous owner (-1 = was free).
+	SpanLease
 
 	numSpanKinds
 )
@@ -106,6 +110,8 @@ func (k SpanKind) String() string {
 		return "breaker"
 	case SpanSLOAlert:
 		return "slo-alert"
+	case SpanLease:
+		return "lease"
 	}
 	return "?"
 }

@@ -3,6 +3,7 @@ package power
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -354,6 +355,36 @@ func (p *Plane) WattsMilli() []int64 { return p.pub.Load().WattsMilli }
 
 // EnergyPJ returns the per-chiplet lifetime energy ledgers in pJ. Read-only.
 func (p *Plane) EnergyPJ() []int64 { return p.pub.Load().EnergyPJ }
+
+// ForecastMilliC projects each chiplet's junction temperature horizonNS of
+// virtual time into the future, assuming the last window's power holds:
+// the RC trajectory T + (Tss − T)·(1 − e^(−h/τ)) toward the steady state
+// that power implies. A pure function of the published snapshot and the
+// model constants, so deterministic replays forecast identically. This is
+// the admission plane's pre-cliff signal: a chiplet whose forecast crosses
+// the soft setpoint will be throttled soon even though its current
+// temperature still looks healthy.
+func (p *Plane) ForecastMilliC(horizonNS int64) []int64 {
+	s := p.pub.Load()
+	out := make([]int64, len(s.TempMilliC))
+	for ch := range out {
+		powerMW := s.WattsMilli[ch]
+		if powerMW > p.tdpMilliW {
+			powerMW = p.tdpMilliW
+		}
+		tss := p.ambMilli + powerMW*p.rMilli[ch]/1000
+		t := s.TempMilliC[ch]
+		f := 1 - math.Exp(-float64(horizonNS)/float64(p.tauNS[ch]))
+		out[ch] = t + int64(float64(tss-t)*f)
+	}
+	return out
+}
+
+// SoftFactorMilli returns the governor's soft-tier slowdown factor in
+// milli-units (1000 = nominal) — what service times inflate to once the
+// soft throttle engages, and therefore the inflation the admission plane
+// applies to estimates when the forecast predicts that engagement.
+func (p *Plane) SoftFactorMilli() int64 { return p.tierFactor[1] }
 
 // Instrument registers per-chiplet temperature and power gauges and the
 // energy counter with reg. The gauges are trace-enabled so charm-obs can

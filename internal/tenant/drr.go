@@ -1,0 +1,70 @@
+package tenant
+
+// DRR is a deficit-round-robin mux over the per-tenant admission queues:
+// each call to Next grants one dispatch slot to a backlogged tenant such
+// that, over any backlogged window, every tenant's granted slots stay
+// within one quantum of its weighted fair share. Dispatch slots are
+// unit-cost (one job each), so quantum_i is simply Weight_i slots per
+// round.
+//
+// The deficit cap is the isolation property: a tenant's unused deficit is
+// forfeited the moment its queue goes empty, so an idle tenant cannot bank
+// scheduling credit and burst past its share when it returns. Not
+// goroutine-safe; the job service drives it under its own lock.
+type DRR struct {
+	weight  []int64
+	deficit []int64
+	cur     int
+	grants  []int64
+}
+
+// NewDRR builds a mux over n tenants with the given per-tenant weights
+// (values below 1 are raised to 1).
+func NewDRR(weights []int64) *DRR {
+	d := &DRR{
+		weight:  append([]int64(nil), weights...),
+		deficit: make([]int64, len(weights)),
+		grants:  make([]int64, len(weights)),
+	}
+	for i, w := range d.weight {
+		if w < 1 {
+			d.weight[i] = 1
+		}
+	}
+	return d
+}
+
+// Next grants one dispatch slot: it returns the index of the tenant to
+// serve, or -1 when no tenant is backlogged. backlog reports whether
+// tenant i currently has queued work; it is consulted in rotation order
+// and an idle tenant's remaining deficit is zeroed as the cursor passes it.
+func (d *DRR) Next(backlog func(i int) bool) int {
+	n := len(d.weight)
+	if n == 0 {
+		return -1
+	}
+	// Two full rotations bound the scan: the first may only recharge
+	// deficits, the second must serve if anyone is backlogged.
+	for scanned := 0; scanned <= 2*n; scanned++ {
+		i := d.cur
+		if !backlog(i) {
+			d.deficit[i] = 0 // idle tenants forfeit unused deficit
+			d.cur = (i + 1) % n
+			continue
+		}
+		if d.deficit[i] == 0 {
+			d.deficit[i] = d.weight[i] // new quantum for this round's visit
+		}
+		d.deficit[i]--
+		if d.deficit[i] == 0 {
+			d.cur = (i + 1) % n // quantum exhausted after this grant
+		}
+		d.grants[i]++
+		return i
+	}
+	return -1
+}
+
+// Grants returns the cumulative dispatch slots granted per tenant.
+// The returned slice is a copy.
+func (d *DRR) Grants() []int64 { return append([]int64(nil), d.grants...) }
