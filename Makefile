@@ -18,7 +18,8 @@ STATICCHECK_VERSION ?= 2025.1.1
 # verify is the pre-commit gate: vet, staticcheck (when installed — CI
 # always runs it pinned; local runs without it just skip), full build,
 # the full test suite, the race detector on the concurrency-heavy
-# packages (the sharded metrics registry and the runtime core), the
+# packages (the sharded metrics registry, the runtime core, and the
+# per-link fabric charging), the
 # simulator stress test that hammers Machine.Access from one goroutine
 # per core (exercises the coherence directory and the lock-free tag
 # arrays under -race), and a short fuzz pass over the corpus-backed
@@ -32,7 +33,7 @@ verify:
 	fi
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs/... ./internal/core/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/fabric/...
 	$(GO) test -race -run TestMachineAccessRaceStress ./internal/sim/
 	$(GO) test -race -count=2 -run TestPowerReplayBitIdentical ./internal/core/
 	$(GO) test -race -count=2 -run TestTenantIsolationReplay ./internal/core/
@@ -47,20 +48,23 @@ bench-smoke:
 	$(GO) test ./internal/core/ -run xxx -bench . -benchtime 10x -benchmem
 	$(GO) test ./internal/sim/ -run xxx -bench BenchmarkMachineAccess -benchtime 10x -benchmem
 	$(GO) test ./internal/place/ -run xxx -bench BenchmarkPlacement -benchtime 10x -benchmem
+	$(GO) test ./internal/fabric/ -run xxx -bench BenchmarkFabric -benchtime 10x -benchmem
 
-# FUZZTIME bounds each fuzz-smoke target; 15s x 4 targets keeps the CI
-# step ~1 minute while still churning fresh inputs past the saved corpus.
+# FUZZTIME bounds each fuzz-smoke target; 15s x 6 targets keeps the CI
+# step ~1.5 minutes while still churning fresh inputs past the saved corpus.
 FUZZTIME ?= 15s
 
 # fuzz-smoke runs every fuzz target briefly (go test -fuzz accepts one
 # target per invocation): the task-queue fuzzers, Alg. 2's collision
-# property, and the simulator memory-access fuzzer.
+# property, the simulator memory-access fuzzer, and the spec-grammar
+# parsers (tenant shares and topo specs).
 fuzz-smoke:
 	$(GO) test ./internal/task/ -run xxx -fuzz '^FuzzDequeSequential$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/task/ -run xxx -fuzz '^FuzzInboxSequential$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -run xxx -fuzz '^FuzzUpdateLocationCollisionFree$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sim/ -run xxx -fuzz '^FuzzMachineAccess$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tenant/ -run xxx -fuzz '^FuzzParseSpec$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/topology/ -run xxx -fuzz '^FuzzParseTopoSpec$$' -fuzztime $(FUZZTIME)
 
 # bench runs the tier-1 benchmarks (-benchmem) and records the simulator
 # access-path numbers (directory vs broadcast-scan) into
@@ -87,9 +91,12 @@ bench:
 	$(GO) test ./internal/core/ -run xxx -bench BenchmarkPower -benchtime 1s -benchmem \
 		| $(GO) run ./cmd/benchjson -o BENCH_power.json \
 		-note "closed-loop thermal/energy plane: access = hot-line read loop with the plane off vs armed-but-idle (per-access PMU cost), tick = one governor evaluation (energy integration, RC step, tier logic) per chiplet tick"
+	$(GO) test ./internal/fabric/ -run xxx -bench BenchmarkFabric -benchtime 1s -benchmem \
+		| $(GO) run ./cmd/benchjson -o BENCH_fabric.json \
+		-note "per-transfer charge cost of each interconnect fabric (route lookup + per-hop token-bucket charging) on a 2-socket 4x2 machine with a uniform-random transfer mix"
 
-# bench-gate reruns the engine and placement benchmarks and diffs them
-# against the checked-in records, failing on any >15% ns/op regression
+# bench-gate reruns the engine, placement, and fabric benchmarks and diffs
+# them against the checked-in records, failing on any >15% ns/op regression
 # (override with GATE_THRESHOLD). Run it before committing changes to the
 # hot paths; make bench refreshes the records when a delta is deliberate.
 GATE_THRESHOLD ?= 15
@@ -99,6 +106,8 @@ bench-gate:
 		| $(GO) run ./cmd/benchjson -gate BENCH_engine.json -gate-threshold $(GATE_THRESHOLD)
 	$(GO) test ./internal/place/ -run xxx -bench BenchmarkPlacement -benchtime 1s -benchmem \
 		| $(GO) run ./cmd/benchjson -gate BENCH_placement.json -gate-threshold $(GATE_THRESHOLD)
+	$(GO) test ./internal/fabric/ -run xxx -bench BenchmarkFabric -benchtime 1s -benchmem \
+		| $(GO) run ./cmd/benchjson -gate BENCH_fabric.json -gate-threshold $(GATE_THRESHOLD)
 
 # Observability smoke runs: a Chrome trace and a Prometheus metrics dump
 # from the quickstart workload.

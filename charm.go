@@ -35,6 +35,7 @@ import (
 	"charm/internal/admit"
 	"charm/internal/baselines"
 	"charm/internal/core"
+	"charm/internal/fabric"
 	"charm/internal/fault"
 	"charm/internal/mem"
 	"charm/internal/obs"
@@ -147,7 +148,37 @@ type (
 	TenantConfig = core.TenantConfig
 	// TenantStats is one tenant's admission and lease ledger.
 	TenantStats = core.TenantStats
+	// ChipletKind classifies a chiplet's compute character (fast,
+	// efficient, accelerator); jobs declare a preferred kind via
+	// JobSpec.Prefer and the dispatcher capability-matches it.
+	ChipletKind = topology.ChipletKind
+	// TopoSpec is a parsed topo-spec string (see Config.TopoSpec).
+	TopoSpec = topology.TopoSpec
+	// FabricLink describes one interconnect link for telemetry and
+	// link-map rendering (Runtime.Machine().Fabric.Links()).
+	FabricLink = fabric.LinkInfo
 )
+
+// Chiplet kinds for JobSpec.Prefer and topology construction. KindAny
+// declares no preference.
+const (
+	KindAny       = topology.KindAny
+	KindFast      = topology.KindFast
+	KindEfficient = topology.KindEfficient
+	KindAccel     = topology.KindAccel
+)
+
+// ParseTopoSpec parses a topo-spec string or preset name (Config.TopoSpec
+// accepts the same grammar).
+var ParseTopoSpec = topology.ParseTopoSpec
+
+// SpecFabrics returns the interconnect fabric names the topo-spec grammar
+// (and Config.Fabric) accepts.
+var SpecFabrics = topology.SpecFabrics
+
+// SpecPresetNames returns the topo-spec preset names (Config.TopoSpec
+// accepts these in place of a full spec string).
+var SpecPresetNames = topology.PresetNames
 
 // DefaultPowerModel returns the generic compute-chiplet energy model.
 var DefaultPowerModel = power.DefaultModel
@@ -290,6 +321,17 @@ type Config struct {
 	// Topology selects the simulated machine; nil uses the AMD EPYC
 	// Milan preset.
 	Topology *Topology
+	// TopoSpec builds the machine from the topo-spec grammar instead
+	// (e.g. "mesh:4x2,fast=2,eff=4,accel=2" or a preset name like
+	// "het-mesh"; see topology.ParseTopoSpec). It selects both the
+	// chiplet layout/kinds and the interconnect fabric. Mutually
+	// exclusive with Topology.
+	TopoSpec string
+	// Fabric selects the interconnect fabric by name: star (default),
+	// mesh, ring, crossbar, or flatfly. Overrides the fabric named in
+	// TopoSpec; with neither set the machine keeps the original
+	// hub-and-spoke model bit-identically.
+	Fabric string
 	// CacheScale divides all cache capacities by this factor so scaled
 	// workloads preserve working-set-to-cache ratios (0 or 1 = full size).
 	CacheScale int64
@@ -429,6 +471,27 @@ func Init(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	topo := cfg.Topology
+	fabKind, err := fabric.ParseKind(cfg.Fabric)
+	if err != nil {
+		return nil, fmt.Errorf("charm: %w", err)
+	}
+	if cfg.TopoSpec != "" {
+		if topo != nil {
+			return nil, fmt.Errorf("charm: Topology and TopoSpec are mutually exclusive")
+		}
+		sp, err := topology.ParseTopoSpec(cfg.TopoSpec)
+		if err != nil {
+			return nil, fmt.Errorf("charm: %w", err)
+		}
+		if topo, err = sp.Build(); err != nil {
+			return nil, fmt.Errorf("charm: %w", err)
+		}
+		if cfg.Fabric == "" {
+			if fabKind, err = fabric.ParseKind(sp.Fabric); err != nil {
+				return nil, fmt.Errorf("charm: %w", err)
+			}
+		}
+	}
 	if topo == nil {
 		topo = topology.AMDMilan7713x2()
 	}
@@ -496,7 +559,7 @@ func Init(cfg Config) (*Runtime, error) {
 		o.NoPooling = cfg.NoPooling
 	}
 
-	m := sim.New(sim.Config{Topo: topo, SampleShift: cfg.SampleShift, MLP: cfg.MLP})
+	m := sim.New(sim.Config{Topo: topo, Fabric: fabKind, SampleShift: cfg.SampleShift, MLP: cfg.MLP})
 	var rt *core.Runtime
 	switch {
 	case cfg.Naive:

@@ -7,7 +7,7 @@
 //	            [-faults SPEC] [-arrivals X] [-timeout D] <experiment>|all
 //
 // Experiments: fig1 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 tab1 tab2 sens abl gran chaos overload thermal. The default options run each
+// fig14 tab1 tab2 sens abl gran chaos overload thermal tenants topo. The default options run each
 // experiment in seconds; -full selects paper-sized inputs. -parallel N runs
 // experiments on a pool of N workers (each experiment builds its own
 // simulated machine, so they are independent); output order stays stable by

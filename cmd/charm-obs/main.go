@@ -85,6 +85,8 @@ func main() {
 		cmdMetrics(os.Args[2:])
 	case "top":
 		cmdTop(os.Args[2:])
+	case "fabric":
+		cmdFabric(os.Args[2:])
 	case "slo":
 		cmdSLO(os.Args[2:])
 	case "critpath":
@@ -105,18 +107,20 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: charm-obs <trace|metrics|top|slo|critpath|job|power|tenants> [flags]
+	fmt.Fprint(os.Stderr, `usage: charm-obs <trace|metrics|top|fabric|slo|critpath|job|power|tenants> [flags]
 
   trace     write a Chrome trace-event JSON file (task spans + counter tracks)
   metrics   write the final metrics snapshot (Prometheus text and/or JSON)
   top       print a per-chiplet summary table
+  fabric    print the per-link interconnect table (-spec picks the machine,
+            -topo renders the link map)
   slo       run the overload scenario; print SLO budgets and burn-rate alerts
   critpath  run the overload scenario; print critical-path attribution
   job <id>  run the overload scenario; print one job's trace and breakdown
   power     run the hot-die scenario; print the per-chiplet thermal/energy table
   tenants   run the multi-tenant scenario; print the per-tenant isolation table
 
-Common flags: -workers N, -workload quickstart|phases|bfs (trace/metrics/top);
+Common flags: -workers N, -workload quickstart|phases|bfs (trace/metrics/top/fabric);
 -load F, -thermal (slo/critpath/job); -load F, -blind (power);
 -factor N, -fault (tenants).
 Run 'charm-obs <subcommand> -h' for subcommand flags.
@@ -133,11 +137,17 @@ func commonFlags(fs *flag.FlagSet) (workers *int, workload *string) {
 // runWorkload initializes a runtime with observability on, executes the
 // named workload, and returns the runtime still live (caller finalizes).
 func runWorkload(workers int, workload string) *charm.Runtime {
-	rt, err := charm.Init(charm.Config{
+	return runWorkloadOn(charm.Config{
 		Workers:        workers,
 		CacheScale:     256,
 		SchedulerTimer: 25_000,
-	})
+	}, workload)
+}
+
+// runWorkloadOn is runWorkload on a caller-chosen machine config, so
+// subcommands can run the same kernels on a spec-built topology.
+func runWorkloadOn(cfg charm.Config, workload string) *charm.Runtime {
+	rt, err := charm.Init(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -322,6 +332,115 @@ func cmdTop(args []string) {
 			fmt.Printf("\ntasks: %d, mean latency %.0f ns\n",
 				s.Hist.Count, float64(s.Hist.Sum)/float64(s.Hist.Count))
 		}
+	}
+}
+
+// cmdFabric runs a workload on a spec-built machine and prints the
+// per-link interconnect table from the fabric's link telemetry: bytes
+// moved, queueing delay absorbed, share of total fabric traffic, and the
+// snapshot-time occupancy gauge. -topo first renders the link map — which
+// chiplets (and kinds) every link joins — so the hot links can be read
+// against the interconnect's shape.
+func cmdFabric(args []string) {
+	fs := flag.NewFlagSet("charm-obs fabric", flag.ExitOnError)
+	workers, workload := commonFlags(fs)
+	spec := fs.String("spec", "het-mesh",
+		`topo spec or preset (e.g. "mesh:4x2,fast=2,eff=4,accel=2", "ring:4x2", "hub")`)
+	showMap := fs.Bool("topo", false, "render the link map before the table")
+	fs.Parse(args)
+
+	rt := runWorkloadOn(charm.Config{
+		TopoSpec:       *spec,
+		Workers:        *workers,
+		CacheScale:     256,
+		SchedulerTimer: 25_000,
+	}, *workload)
+	defer rt.Finalize()
+
+	fab := rt.Machine().Fabric
+	links := fab.Links()
+	snap := rt.MetricsSnapshot()
+	fmt.Printf("spec %s (fabric %s), %d links, workload %s, virtual time %.3f ms\n",
+		*spec, fab.Kind(), len(links), *workload, float64(snap.T)/1e6)
+
+	if *showMap {
+		fmt.Printf("\nlink map:\n")
+		for _, l := range links {
+			fmt.Printf("  %-12s %s\n", l.Name, linkEnds(rt.Topology(), l))
+		}
+	}
+
+	// Per-link counters from the already-collected telemetry, keyed by the
+	// "link" label that Fabric.Instrument stamps on every sample.
+	type row struct {
+		bytes, delay, occ float64
+	}
+	rows := map[string]*row{}
+	get := func(s *obs.Sample) *row {
+		name, ok := s.Labels["link"]
+		if !ok {
+			return nil
+		}
+		r := rows[name]
+		if r == nil {
+			r = &row{}
+			rows[name] = r
+		}
+		return r
+	}
+	var total float64
+	for i := range snap.Samples {
+		s := &snap.Samples[i]
+		switch s.Name {
+		case "charm_fabric_bytes_total":
+			if r := get(s); r != nil {
+				r.bytes = s.Value
+				total += s.Value
+			}
+		case "charm_fabric_queue_delay_ns_total":
+			if r := get(s); r != nil {
+				r.delay = s.Value
+			}
+		case "charm_fabric_occupancy":
+			if r := get(s); r != nil {
+				r.occ = s.Value
+			}
+		}
+	}
+
+	fmt.Println("\nlink          endpoints                                      bytes  share%  queue-delay-us  occupancy")
+	for _, l := range links {
+		r := rows[l.Name]
+		if r == nil {
+			r = &row{}
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * r.bytes / total
+		}
+		fmt.Printf("%-12s  %-38s %12.0f  %6.2f  %14.1f  %9.3f\n",
+			l.Name, linkEnds(rt.Topology(), l), r.bytes, share, r.delay/1000, r.occ)
+	}
+	fmt.Printf("\ntotal fabric traffic: %.0f bytes across %d links\n", total, len(links))
+}
+
+// linkEnds renders a link's endpoints for the fabric table and link map:
+// the chiplets it joins (with their kinds on a heterogeneous machine), the
+// I/O-die hub for a star spoke, or the owning socket for an external link.
+func linkEnds(topo *charm.Topology, l charm.FabricLink) string {
+	kind := func(ch topology.ChipletID) string {
+		if topo.Heterogeneous() {
+			return fmt.Sprintf("%d(%s)", ch, topo.KindOf(ch))
+		}
+		return strconv.Itoa(int(ch))
+	}
+	switch {
+	case l.Socket >= 0:
+		return fmt.Sprintf("socket %d <-> remote socket", l.Socket)
+	case l.A == l.B:
+		return fmt.Sprintf("chiplet %s <-> I/O die", kind(l.A))
+	default:
+		return fmt.Sprintf("chiplet %s <-> chiplet %s", kind(l.A), kind(l.B))
 	}
 }
 

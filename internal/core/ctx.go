@@ -94,6 +94,16 @@ func (c *Ctx) RMW(addr mem.Addr, size int64) {
 func (c *Ctx) Compute(ns int64) {
 	c.flushBatch()
 	if ns > 0 {
+		// Heterogeneous chiplets run compute at their kind's speed: an
+		// accelerator shrinks the busy-time, an efficiency core stretches
+		// it. The scaled time is what the PMU prices (a faster die busy
+		// for less virtual time burns correspondingly less energy).
+		if m := c.w.fastState(c.w.clock.Now()).compMilli; m != 1000 {
+			ns = ns * m / 1000
+			if ns < 1 {
+				ns = 1
+			}
+		}
 		c.w.rt.M.PMU.Add(int(c.w.Core()), pmu.ComputeNS, ns)
 	}
 	c.advance(ns)

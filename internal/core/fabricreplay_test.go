@@ -1,0 +1,130 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"charm/internal/fabric"
+	"charm/internal/mem"
+	"charm/internal/pmu"
+	"charm/internal/sim"
+	"charm/internal/topology"
+)
+
+// fabricRun executes one deterministic run of a cross-chiplet-heavy
+// workload on the reference heterogeneous machine with the given fabric,
+// and returns every engine observable: aggregate Stats, the full PMU
+// snapshot, and the final virtual clock.
+func fabricRun(t *testing.T, kind fabric.Kind) (Stats, pmu.Snapshot, int64) {
+	t.Helper()
+	sp, err := topology.ParseTopoSpec("het-mesh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := sp.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(sim.Config{Topo: topo, Fabric: kind})
+	rt := NewRuntime(m, Options{
+		Workers: topo.NumCores(), Deterministic: true, SchedulerTimer: 50_000,
+	})
+	rt.Start()
+	defer rt.Stop()
+
+	// Shared arrays force cross-chiplet coherence transfers (every worker
+	// touches lines homed elsewhere), so the fabric's per-link charging is
+	// on the critical path of every access.
+	shared := rt.Alloc(1<<18, 0)
+	var total Stats
+	add := func(st Stats) {
+		total.Makespan += st.Makespan
+		total.Tasks += st.Tasks
+		total.Steals += st.Steals
+	}
+	add(rt.ParallelFor(0, 64, 2, func(ctx *Ctx, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			a := shared + mem.Addr((i*97)%512)*64
+			for r := 0; r < 60; r++ {
+				ctx.Read(a, 64)
+			}
+			ctx.Compute(1_500)
+			for r := 0; r < 30; r++ {
+				ctx.Write(a, 64)
+			}
+		}
+	}))
+	// An RPC wave exercises MessageDelay over every fabric's routes.
+	add(rt.AllDoCo(func(ctx *Ctx) {
+		peer := (ctx.Worker() + len(rt.workers)/2) % len(rt.workers)
+		for r := 0; r < 3; r++ {
+			ctx.CallAsync(peer, func(c2 *Ctx) {
+				c2.Read(shared, 64)
+				c2.Compute(500)
+			})
+			ctx.Yield()
+		}
+	}))
+	return total, rt.M.PMU.Snapshot(), rt.MaxWorkerClock()
+}
+
+// TestFabricReplayBitIdentical: every fabric kind must replay
+// bit-identically in Deterministic mode — two runs of the same workload
+// agree on Stats, every PMU counter on every core, and the final clock.
+// make verify runs this under -race (the internal/core race pass), which
+// also stresses the fabrics' concurrent charging.
+func TestFabricReplayBitIdentical(t *testing.T) {
+	for _, kind := range fabric.Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			st1, pm1, clk1 := fabricRun(t, kind)
+			st2, pm2, clk2 := fabricRun(t, kind)
+			if st1.Tasks == 0 {
+				t.Fatalf("workload too tame to be a gate: %+v", st1)
+			}
+			if st1 != st2 {
+				t.Errorf("Stats diverge:\n  run1 %+v\n  run2 %+v", st1, st2)
+			}
+			if !reflect.DeepEqual(pm1, pm2) {
+				t.Error("PMU counters diverge across identical runs")
+			}
+			if clk1 != clk2 {
+				t.Errorf("final clock %d vs %d", clk1, clk2)
+			}
+		})
+	}
+}
+
+// TestHeterogeneousComputeScaling: the same Compute(ns) call must cost
+// more virtual time on an efficiency die and less on an accelerator than
+// on a fast die — the per-kind compute multipliers threaded through the
+// worker fast path.
+func TestHeterogeneousComputeScaling(t *testing.T) {
+	sp, err := topology.ParseTopoSpec("mesh:4x2,fast=2,eff=4,accel=2,cores=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := sp.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(sim.Config{Topo: topo})
+	rt := NewRuntime(m, Options{Workers: topo.NumCores(), Deterministic: true})
+	rt.Start()
+	defer rt.Stop()
+	clock := make([]int64, topo.NumCores())
+	rt.AllDo(func(ctx *Ctx) {
+		start := ctx.Now()
+		ctx.Compute(100_000)
+		clock[ctx.Worker()] = ctx.Now() - start
+	})
+	fastNS, effNS, accelNS := clock[0], clock[2], clock[7]
+	if fastNS != 100_000 {
+		t.Errorf("fast die compute = %d, want the raw 100000", fastNS)
+	}
+	if effNS != 170_000 {
+		t.Errorf("efficiency die compute = %d, want 170000 (1.7x)", effNS)
+	}
+	if accelNS != 40_000 {
+		t.Errorf("accelerator compute = %d, want 40000 (0.4x)", accelNS)
+	}
+}

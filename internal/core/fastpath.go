@@ -54,6 +54,9 @@ type placeFast struct {
 	// before thermUntil.
 	thermMilli int64
 	thermUntil int64
+	// compMilli is the chiplet kind's compute-speed multiplier (1000 on
+	// homogeneous machines; a pure function of the chiplet).
+	compMilli int64
 }
 
 // fastState returns the placement cache, rebuilding it when the placement
@@ -74,6 +77,7 @@ func (w *Worker) reloadFast(epoch, now int64) {
 	topo := w.rt.M.Topo
 	f.epoch = epoch
 	f.chiplet = topo.ChipletOf(core)
+	f.compMilli = topo.ComputeMilli(f.chiplet)
 	f.occMul, f.occDiv = 1, 1
 	if occ := w.rt.coreOcc[core].Load(); occ > 1 {
 		if int(occ) <= topo.SMT() {

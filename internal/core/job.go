@@ -11,6 +11,7 @@ import (
 	"charm/internal/obs"
 	"charm/internal/place"
 	"charm/internal/tenant"
+	"charm/internal/topology"
 )
 
 // This file implements the open-loop job service: jobs — multi-stage
@@ -61,6 +62,12 @@ type JobSpec struct {
 	// service (empty selects the first tenant). Ignored — and must stay
 	// empty — on a single-tenant service.
 	Tenant string
+	// Prefer is the preferred chiplet kind for the job's stages on a
+	// heterogeneous machine (zero = KindAny = no preference). It is a
+	// soft preference: matching-kind chiplets are tried first in the
+	// placement walk, but dispatch falls back to any kind rather than
+	// queueing — capability matching must never starve a job.
+	Prefer topology.ChipletKind
 	// Stages are the job's task stages, run in order.
 	Stages []JobStage
 }
@@ -146,6 +153,9 @@ func (j *Job) ID() uint64 { return j.id }
 
 // Name returns the spec's label.
 func (j *Job) Name() string { return j.spec.Name }
+
+// Spec returns a copy of the job's submitted spec (stage slices shared).
+func (j *Job) Spec() JobSpec { return j.spec }
 
 // Priority returns the job's priority.
 func (j *Job) Priority() int { return j.spec.Priority }
@@ -1047,7 +1057,7 @@ func (s *JobService) dispatchStageLocked(j *Job, now int64) {
 	g := newGroup()
 	g.job = j
 	g.add(int64(len(stage)))
-	wids := s.placeStageLocked(now, len(stage), j.ten)
+	wids := s.placeStageLocked(now, len(stage), j.ten, j.spec.Prefer)
 	for i, fn := range stage {
 		wid := wids[i]
 		t := s.rt.newTask(fn, g, now, j.spec.Coro, wid)
@@ -1072,7 +1082,12 @@ func (s *JobService) dispatchStageLocked(j *Job, now int64) {
 // admissible live worker at all (every leased chiplet died or is breaker-
 // refused between rebalances) does the walk fall back to the whole
 // machine — isolation never starves a compliant tenant.
-func (s *JobService) placeStageLocked(now int64, n int, ten int) []int {
+//
+// When the job prefers a chiplet kind (kind != KindAny) on a
+// heterogeneous machine, matching-kind chiplets are moved to the front
+// of the preference walk with the rest appended after: the capability
+// match is a soft preference with natural fallback, never a hard gate.
+func (s *JobService) placeStageLocked(now int64, n int, ten int, kind topology.ChipletKind) []int {
 	v := s.viewLocked(now)
 	out := make([]int, 0, n)
 	if s.opts.Placement == PlaceRoundRobin {
@@ -1087,6 +1102,20 @@ func (s *JobService) placeStageLocked(now int64, n int, ten int) []int {
 	// stages co-locate on the top group, larger stages spill onto the
 	// next-preferred groups instead of stacking one group's queues.
 	chs := v.ChipletsByPreference(s.rr)
+	if kind != topology.KindAny {
+		ordered := make([]topology.ChipletID, 0, len(chs))
+		var rest []topology.ChipletID
+		for _, ch := range chs {
+			if v.KindOf(ch) == kind {
+				ordered = append(ordered, ch)
+			} else {
+				rest = append(rest, ch)
+			}
+		}
+		if len(ordered) > 0 && len(rest) > 0 {
+			chs = append(ordered, rest...)
+		}
+	}
 	var cand []int
 	if ten >= 0 && s.leases != nil && s.leases.Held(ten) > 0 {
 		for _, ch := range chs {

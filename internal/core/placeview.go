@@ -45,6 +45,13 @@ func (rt *Runtime) placeSnapshot(now int64) place.Snapshot {
 		snap.TempMilliC = pw.TempsMilliC()
 		snap.TempSoftMilliC = pw.SoftMilliC()
 	}
+	if f := rt.M.Fabric; f != nil {
+		nch := rt.M.Topo.NumChiplets()
+		snap.LinkUtilMilli = make([]int64, nch)
+		for ch := 0; ch < nch; ch++ {
+			snap.LinkUtilMilli[ch] = f.ChipletUtilMilli(topology.ChipletID(ch), now)
+		}
+	}
 	return snap
 }
 

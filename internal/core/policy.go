@@ -118,10 +118,11 @@ func (p *CharmPolicy) AssignWorker(i int, phase uint64, workers int) int {
 // the self-healing contrast the chaos experiment measures.
 func (p *CharmPolicy) Rehome(w *Worker, now int64) (topology.CoreID, bool) {
 	v := w.rt.placeView(now)
-	// ThermalHeadroom reduces to plain nearest-distance when no power
-	// plane runs; with one, an evicted worker avoids re-homing onto a
-	// chiplet that is about to throttle (or just parked it).
-	c, ok := v.Select(place.ThermalHeadroom(w.Core()), place.Live, place.Idle)
+	// CongestionAware reduces to plain nearest-distance when neither a
+	// power plane nor a fabric congestion signal runs; with them, an
+	// evicted worker avoids re-homing onto a chiplet that is about to
+	// throttle (or just parked it) or one behind a saturated fabric link.
+	c, ok := v.Select(place.CongestionAware(w.Core()), place.Live, place.Idle)
 	if ok {
 		w.rt.met.placeRehome.Inc(w.id)
 	}

@@ -51,8 +51,8 @@ func TestTablePrintAndLookup(t *testing.T) {
 func TestRegistry(t *testing.T) {
 	o := testOptions()
 	ids := o.IDs()
-	if len(ids) != 21 {
-		t.Errorf("expected 21 experiments, got %d: %v", len(ids), ids)
+	if len(ids) != 22 {
+		t.Errorf("expected 22 experiments, got %d: %v", len(ids), ids)
 	}
 	if _, err := o.Run("nope"); err == nil {
 		t.Error("unknown id must error")

@@ -29,6 +29,7 @@ func (o Options) Experiments() map[string]func() *Table {
 		"overload": o.Overload,
 		"thermal":  o.Thermal,
 		"tenants":  o.Tenants,
+		"topo":     o.Topo,
 	}
 }
 

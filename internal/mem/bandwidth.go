@@ -154,6 +154,19 @@ func (b *TokenBucket) Utilization(t int64) float64 {
 	return float64(cur&usedMask) / float64(b.capacity)
 }
 
+// UtilMilli returns the utilization of the window containing t in integer
+// milli-units (1000 = full capacity, >1000 = oversubscribed). Placement
+// code uses this instead of Utilization so decisions stay in the integer
+// domain and replay bit-identically.
+func (b *TokenBucket) UtilMilli(t int64) int64 {
+	w := t / b.windowNS
+	cur := b.slots[w%numWindows].state.Load()
+	if cur>>usedBits != uint64(w)&tagMask {
+		return 0
+	}
+	return int64(cur&usedMask) * 1000 / b.capacity
+}
+
 // channelMetrics are one node's observability handles (nil when the DRAM
 // is not instrumented).
 type channelMetrics struct {

@@ -40,6 +40,11 @@ type Snapshot struct {
 	// TempSoftMilliC is the governor's soft-throttle setpoint in milli-°C;
 	// the thermal scorers measure headroom against it (0 = no signal).
 	TempSoftMilliC int64
+	// LinkUtilMilli[ch] is the current-window occupancy of chiplet ch's
+	// hottest incident fabric link in milli-units (1000 = saturated,
+	// nil = no congestion signal). The congestion scorers demote chiplets
+	// behind hot links.
+	LinkUtilMilli []int64
 }
 
 // View is an immutable placement snapshot of one machine at one virtual
@@ -63,6 +68,9 @@ type View struct {
 	// governor's soft setpoint; both nil/0 when no power plane runs.
 	temp     []int64
 	tempSoft int64
+	// linkUtil[ch] is the hottest incident fabric-link occupancy in
+	// milli-units (nil = no congestion signal).
+	linkUtil []int64
 }
 
 // NewView builds a View of ranks' machine at virtual time now from
@@ -82,6 +90,7 @@ func NewView(r *Ranks, now int64, s Snapshot) *View {
 		refused:    s.BreakerOpen,
 		temp:       s.TempMilliC,
 		tempSoft:   s.TempSoftMilliC,
+		linkUtil:   s.LinkUtilMilli,
 	}
 	if v.live == nil {
 		v.live = make([]bool, n)
@@ -177,6 +186,22 @@ func (v *View) TempMilliC(ch topology.ChipletID) int64 {
 // milli-°C, or 0 when the view carries no thermal signal.
 func (v *View) TempSoftMilliC() int64 { return v.tempSoft }
 
+// LinkUtilMilli returns the occupancy of chiplet ch's hottest incident
+// fabric link in milli-units (1000 = saturated), or 0 when the view
+// carries no congestion signal.
+func (v *View) LinkUtilMilli(ch topology.ChipletID) int64 {
+	if v.linkUtil == nil {
+		return 0
+	}
+	return v.linkUtil[ch]
+}
+
+// KindOf returns chiplet ch's compute kind (KindFast on homogeneous
+// machines).
+func (v *View) KindOf(ch topology.ChipletID) topology.ChipletKind {
+	return v.ranks.topo.KindOf(ch)
+}
+
 // thermalGuardMilliC is the guard band below the soft setpoint where the
 // thermal scorers begin steering work away: a chiplet within 10 °C of
 // soft throttling is already a bad place for more heat.
@@ -191,6 +216,27 @@ func (v *View) thermalPenalty(ch topology.ChipletID) int64 {
 		return 0
 	}
 	over := v.temp[ch] - (v.tempSoft - thermalGuardMilliC)
+	if over <= 0 {
+		return 0
+	}
+	return over * (1 << 20) / 1000
+}
+
+// congestionGuardMilli is the link occupancy where the congestion scorers
+// begin steering work away: past 70% of the bandwidth window, new
+// transfers will land in the queueing regime before the window turns over.
+const congestionGuardMilli = 700
+
+// congestionPenalty converts a chiplet's hottest-link occupancy into a
+// scorer penalty: zero below the guard, then one (1<<20)-scaled unit per
+// 1000 milli of overshoot — the same magnitude scheme as thermalPenalty,
+// so congestion dominates topological distance but defers to a chiplet
+// that is ten degrees into its thermal guard band.
+func (v *View) congestionPenalty(ch topology.ChipletID) int64 {
+	if v.linkUtil == nil {
+		return 0
+	}
+	over := v.linkUtil[ch] - congestionGuardMilli
 	if over <= 0 {
 		return 0
 	}
@@ -248,6 +294,28 @@ func ThermalHeadroom(from topology.CoreID) Scorer {
 	return func(v *View, c topology.CoreID) int64 {
 		s := int64(v.ranks.pos[from][c])
 		return s + v.thermalPenalty(v.ranks.topo.ChipletOf(c))
+	}
+}
+
+// CongestionAware prefers cores topologically close to from while demoting
+// chiplets behind hot fabric links and hot dies: candidates pay
+// congestionPenalty once their hottest incident link exceeds the guard
+// occupancy, plus thermalPenalty inside the thermal guard band. On views
+// without congestion or thermal signals it reduces exactly to Nearest.
+func CongestionAware(from topology.CoreID) Scorer {
+	return func(v *View, c topology.CoreID) int64 {
+		ch := v.ranks.topo.ChipletOf(c)
+		return int64(v.ranks.pos[from][c]) + v.congestionPenalty(ch) + v.thermalPenalty(ch)
+	}
+}
+
+// CapabilityMatch admits only cores on chiplets of the given compute kind;
+// KindAny admits everything. Dispatchers use it as a soft preference
+// (match first, fall back to any kind) so declaring a preference can never
+// strand a job.
+func CapabilityMatch(kind topology.ChipletKind) Constraint {
+	return func(v *View, c topology.CoreID) bool {
+		return kind == topology.KindAny || v.ranks.topo.KindOf(v.ranks.topo.ChipletOf(c)) == kind
 	}
 }
 
@@ -380,15 +448,18 @@ func (v *View) ChipletDepth(ch topology.ChipletID) int64 {
 // ones (refused chiplets stay listed last so half-open probes can still
 // reach them), then healthier fused milli, then cooler thermal band (2 °C
 // buckets inside the soft setpoint's guard band — a no-op without a
-// thermal signal), then lower aggregate queue depth. Remaining ties
-// rotate deterministically with cursor so equally-good chiplets share
-// work round-robin.
+// thermal signal), then calmer congestion band (100-milli buckets of
+// hottest-incident-link occupancy past the congestion guard — a no-op
+// without a link signal), then lower aggregate queue depth. Remaining
+// ties rotate deterministically with cursor so equally-good chiplets
+// share work round-robin.
 func (v *View) ChipletsByPreference(cursor int) []topology.ChipletID {
 	topo := v.ranks.topo
 	nch := topo.NumChiplets()
 	type cand struct {
 		ch    topology.ChipletID
 		band  int64
+		cong  int64
 		depth int64
 		rot   int
 	}
@@ -412,7 +483,13 @@ func (v *View) ChipletsByPreference(cursor int) []topology.ChipletID {
 				band = over/2000 + 1
 			}
 		}
-		cands = append(cands, cand{id, band, depth, ((ch-cursor)%nch + nch) % nch})
+		var cong int64
+		if v.linkUtil != nil {
+			if over := v.linkUtil[ch] - congestionGuardMilli; over > 0 {
+				cong = over/100 + 1
+			}
+		}
+		cands = append(cands, cand{id, band, cong, depth, ((ch-cursor)%nch + nch) % nch})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		a, b := cands[i], cands[j]
@@ -424,6 +501,9 @@ func (v *View) ChipletsByPreference(cursor int) []topology.ChipletID {
 		}
 		if a.band != b.band {
 			return a.band < b.band
+		}
+		if a.cong != b.cong {
+			return a.cong < b.cong
 		}
 		if a.depth != b.depth {
 			return a.depth < b.depth

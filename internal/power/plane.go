@@ -154,9 +154,15 @@ func NewPlane(topo *topology.Topology, pm *pmu.PMU, plan *fault.Plan, cfg Config
 	}
 	for ch := 0; ch < nch; ch++ {
 		m := models[ch%len(models)]
-		p.idleMilliW[ch] = int64(m.IdleWatts * 1000)
+		// Heterogeneous chiplet kinds scale the energy price of every
+		// event: efficiency dies burn half, accelerator dies a premium.
+		// em is exactly 1000 on homogeneous machines, so the float
+		// products below are multiplications by 1.0 — bit-identical to
+		// the unscaled integerization.
+		em := float64(topo.EnergyMilli(topology.ChipletID(ch))) / 1000
+		p.idleMilliW[ch] = int64(m.IdleWatts * em * 1000)
 		for e := 0; e < pmu.NumEvents; e++ {
-			p.pjTable[ch][e] = int64(m.EnergyPJ[e] + 0.5)
+			p.pjTable[ch][e] = int64(m.EnergyPJ[e]*em + 0.5)
 		}
 		p.rMilli[ch] = int64(m.RThermal * 1000)
 		tau := int64(m.RThermal * m.CThermal * 1e9)

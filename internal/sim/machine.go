@@ -34,6 +34,9 @@ import (
 type Config struct {
 	// Topo is the machine layout; required.
 	Topo *topology.Topology
+	// Fabric selects the interconnect topology. The zero value is
+	// fabric.KindStar, the original hub-and-spoke model.
+	Fabric fabric.Kind
 	// SampleShift simulates only 1/2^SampleShift of cache lines exactly;
 	// other lines are charged the core's recent average cost. 0 = exact.
 	SampleShift uint
@@ -59,7 +62,7 @@ type Machine struct {
 	Topo   *topology.Topology
 	Space  *mem.Space
 	DRAM   *mem.DRAM
-	Fabric *fabric.Fabric
+	Fabric fabric.Fabric
 	PMU    *pmu.PMU
 
 	l2 []*cache.Cache // per core
@@ -73,6 +76,11 @@ type Machine struct {
 	sampleShift  uint
 	sampleFactor int64
 	mlp          int64
+
+	// accMilli[ch] is chiplet ch's kind access-cost multiplier in
+	// milli-units, nil on homogeneous machines so the baseline access
+	// path is arithmetically untouched.
+	accMilli []int64
 
 	// avg holds per-core scratch state — the EWMA cost of recent sampled
 	// line accesses (charged to unsampled lines) and the core's directory
@@ -123,7 +131,7 @@ func New(cfg Config) *Machine {
 		Topo:         t,
 		Space:        mem.NewSpace(t),
 		DRAM:         mem.NewDRAM(t, cfg.WindowNS),
-		Fabric:       fabric.New(t, cfg.WindowNS),
+		Fabric:       fabric.Build(cfg.Fabric, t, cfg.WindowNS),
 		PMU:          pmu.New(t.NumCores()),
 		sampleShift:  cfg.SampleShift,
 		sampleFactor: 1 << cfg.SampleShift,
@@ -143,10 +151,40 @@ func New(cfg Config) *Machine {
 	if !cfg.NoDirectory && t.NumChiplets() <= maxDirChiplets {
 		m.dir = newDirectory()
 	}
+	if t.Heterogeneous() {
+		m.accMilli = make([]int64, t.NumChiplets())
+		for ch := range m.accMilli {
+			m.accMilli[ch] = t.AccessMilli(topology.ChipletID(ch))
+		}
+	}
 	for i := range m.avg {
-		m.avg[i].v = t.Cost.L2Hit
+		m.avg[i].v = scaleAccess(t.Cost.L2Hit, m.coreAccMilli(topology.CoreID(i)))
 	}
 	return m
+}
+
+// coreAccMilli returns the access-cost multiplier of the chiplet hosting
+// core (1000 on homogeneous machines).
+func (m *Machine) coreAccMilli(core topology.CoreID) int64 {
+	if m.accMilli == nil {
+		return 1000
+	}
+	return m.accMilli[m.Topo.ChipletOf(core)]
+}
+
+// scaleAccess applies a chiplet kind's access multiplier to a cost. The
+// 1000 fast path leaves the cost untouched — heterogeneity must never
+// perturb homogeneous replays — and scaled costs floor at 1 ns so the
+// EWMA and hit costs stay positive.
+func scaleAccess(cost, milli int64) int64 {
+	if milli == 1000 {
+		return cost
+	}
+	c := cost * milli / 1000
+	if c < 1 {
+		c = 1
+	}
+	return c
 }
 
 // SampleFactor returns 2^SampleShift, the extrapolation factor applied to
@@ -202,12 +240,13 @@ func (m *Machine) Access(core topology.CoreID, t int64, addr mem.Addr, size int6
 	last := (uint64(addr) + uint64(size) - 1) >> cache.LineShift
 	var cost int64
 	mask := uint64(m.sampleFactor - 1)
+	acc := m.coreAccMilli(core)
 	// Contiguous multi-line accesses pipeline their misses (hardware
 	// prefetch + MLP): only the first line pays the full latency.
 	streamRun := last-first >= 3
 	for line := first; line <= last; line++ {
 		if line&mask == 0 {
-			c := m.accessLine(core, t+cost, line, addr, write, streamRun && line != first)
+			c := scaleAccess(m.accessLine(core, t+cost, line, addr, write, streamRun && line != first), acc)
 			a := &m.avg[core]
 			a.v += (c - a.v) / 8
 			cost += c
@@ -242,9 +281,9 @@ func (m *Machine) RepeatCost(core topology.CoreID, addr mem.Addr, size int64) (c
 		return m.avg[core].v, true
 	}
 	if m.l2[core] != nil {
-		return m.Topo.Cost.L2Hit, true
+		return scaleAccess(m.Topo.Cost.L2Hit, m.coreAccMilli(core)), true
 	}
-	return m.Topo.Cost.L3LocalHit, true
+	return scaleAccess(m.Topo.Cost.L3LocalHit, m.coreAccMilli(core)), true
 }
 
 // AccessRepeat settles n deferred repeat accesses (see RepeatCost) in one
@@ -267,13 +306,13 @@ func (m *Machine) AccessRepeat(core topology.CoreID, lastT int64, addr mem.Addr,
 				return false
 			}
 			m.PMU.Add(int(core), pmu.FillL2, n*m.sampleFactor)
-			c = m.Topo.Cost.L2Hit
+			c = scaleAccess(m.Topo.Cost.L2Hit, m.coreAccMilli(core))
 		} else {
 			if !m.l3[m.Topo.ChipletOf(core)].Touch(line, lastT, n) {
 				return false
 			}
 			m.PMU.Add(int(core), pmu.FillL3Local, n*m.sampleFactor)
-			c = m.Topo.Cost.L3LocalHit
+			c = scaleAccess(m.Topo.Cost.L3LocalHit, m.coreAccMilli(core))
 		}
 		// Iterate the EWMA the n hits would have applied; the integer
 		// recurrence reaches its fixed point (|c-v| < 8) in a few steps, so
@@ -503,7 +542,7 @@ func (m *Machine) FlushCaches() {
 		m.dir.reset()
 	}
 	for i := range m.avg {
-		m.avg[i].v = m.Topo.Cost.L2Hit
+		m.avg[i].v = scaleAccess(m.Topo.Cost.L2Hit, m.coreAccMilli(topology.CoreID(i)))
 		m.avg[i].dir = dirCache{}
 	}
 }

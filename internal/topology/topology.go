@@ -137,6 +137,18 @@ type Topology struct {
 
 	ChannelsPerNode int // memory channels per NUMA node
 
+	// Kinds assigns a ChipletKind to every chiplet, dense by ChipletID
+	// across the machine. Empty means homogeneous: every chiplet is
+	// KindFast and all kind multipliers are exactly 1000 (no arithmetic
+	// change anywhere).
+	Kinds []ChipletKind
+
+	// GridRows x GridCols arranges each socket's chiplets in a grid for
+	// grid-routed fabrics (mesh, flattened butterfly). Zero means the
+	// fabric picks a near-square factorization itself.
+	GridRows int
+	GridCols int
+
 	Cost CostModel
 }
 
@@ -164,6 +176,22 @@ func (t *Topology) Validate() error {
 		return fmt.Errorf("topology %q: ChannelsPerNode must be positive, got %d", t.Name, t.ChannelsPerNode)
 	case t.SMTWays < 0:
 		return fmt.Errorf("topology %q: SMTWays must not be negative, got %d", t.Name, t.SMTWays)
+	}
+	if len(t.Kinds) != 0 && len(t.Kinds) != t.NumChiplets() {
+		return fmt.Errorf("topology %q: Kinds must cover every chiplet (%d) or be empty, got %d",
+			t.Name, t.NumChiplets(), len(t.Kinds))
+	}
+	for i, k := range t.Kinds {
+		if k != KindFast && k != KindEfficient && k != KindAccel {
+			return fmt.Errorf("topology %q: Kinds[%d] = %v is not a concrete chiplet kind", t.Name, i, k)
+		}
+	}
+	if t.GridRows != 0 || t.GridCols != 0 {
+		perSocket := t.NodesPerSocket * t.ChipletsPerNode
+		if t.GridRows <= 0 || t.GridCols <= 0 || t.GridRows*t.GridCols != perSocket {
+			return fmt.Errorf("topology %q: grid %dx%d must cover the %d chiplets per socket",
+				t.Name, t.GridRows, t.GridCols, perSocket)
+		}
 	}
 	return nil
 }
